@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: operation-cache misses.
+ *
+ * The paper's evaluation assumes perfect operation caches ("No
+ * instruction cache misses or operation prefetch delays are
+ * included"). This ablation enables the per-unit operation-cache
+ * model and sweeps its size. Two effects show up:
+ *  - a large-enough cache reproduces the paper's assumption (the
+ *    benchmarks' working sets are small);
+ *  - thread clones sharing one code image hit in each other's lines,
+ *    so coupled multithreading is not an instruction-fetch multiplier.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace procoup;
+
+int
+main()
+{
+    std::printf("Ablation: operation-cache size "
+                "(Coupled mode; 4 rows/line, 8-cycle miss)\n\n");
+
+    TextTable t;
+    t.header({"Benchmark", "perfect", "64 lines", "16 lines",
+              "4 lines", "miss rate @16"});
+    for (const auto& bm : benchmarks::all()) {
+        std::vector<std::string> row = {bm.name};
+        std::string missrate;
+        for (int lines : {0, 64, 16, 4}) {
+            auto machine = config::baseline();
+            if (lines > 0) {
+                machine.opCache.enabled = true;
+                machine.opCache.linesPerUnit = lines;
+                machine.opCache.rowsPerLine = 4;
+                machine.opCache.missPenalty = 8;
+            }
+            const auto r =
+                bench::runVerified(machine, bm, core::SimMode::Coupled);
+            row.push_back(strCat(r.stats.cycles));
+            if (lines == 16) {
+                const double total = static_cast<double>(
+                    r.stats.opCacheHits + r.stats.opCacheMisses);
+                missrate = strCat(
+                    fixed(total > 0.0
+                              ? 100.0 * r.stats.opCacheMisses / total
+                              : 0.0,
+                          1),
+                    "%");
+            }
+        }
+        row.push_back(missrate);
+        t.row(row);
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

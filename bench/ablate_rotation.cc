@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation (design choice called out in DESIGN.md): static load
+ * balancing via thread-function clones.
+ *
+ * The paper's compiler "assigns an ordered list of clusters to each
+ * thread. Using different orderings for different threads serves as a
+ * simple form of load balancing." This ablation disables cloning
+ * (forkClones = 1): in TPE every spawned thread then lands on the
+ * same single cluster — a serialized disaster — and in Coupled all
+ * threads share one cluster preference order, so they pile onto the
+ * same units and rely purely on runtime arbitration to spread.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "procoup/sched/compiler.hh"
+#include "procoup/sim/simulator.hh"
+
+using namespace procoup;
+
+namespace {
+
+std::uint64_t
+run(const core::BenchmarkSource& bm, core::SimMode mode, int clones)
+{
+    const auto machine = config::baseline();
+    sched::CompileOptions opts = core::optionsFor(mode);
+    opts.forkClones = clones;
+    const auto compiled =
+        sched::compile(bm.forMode(mode), machine, opts);
+    sim::Simulator s(machine, compiled.program);
+    return s.run().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: thread-function clones for static load "
+                "balancing\n(clones=4: one per arithmetic cluster, "
+                "the default; clones=1: none)\n\n");
+
+    TextTable t;
+    t.header({"Benchmark", "Mode", "clones=4", "clones=1",
+              "slowdown"});
+    for (const auto& bm : benchmarks::all()) {
+        for (auto mode : {core::SimMode::Tpe, core::SimMode::Coupled}) {
+            const auto with = run(bm, mode, 4);
+            const auto without = run(bm, mode, 1);
+            t.row({bm.name, core::simModeName(mode), strCat(with),
+                   strCat(without),
+                   strCat(fixed(static_cast<double>(without) / with, 2),
+                          "x")});
+        }
+        t.separator();
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nTPE without clones pins every thread to one cluster"
+                " (no parallelism);\nCoupled recovers most of the loss"
+                " through runtime arbitration alone.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation (thread management, the paper's "beyond the scope" knob):
+ * the size of the hardware active set.
+ *
+ * The paper assumes "all executing threads are ... a part of the
+ * active set"; real hardware would bound it ("hardware is provided to
+ * sequence and synchronize a small number of active threads") and
+ * queue excess spawns. This sweep bounds maxActiveThreads and shows
+ * how much concurrency each benchmark actually needs: cycle counts
+ * flatten once the active set covers the useful parallelism.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace procoup;
+
+int
+main()
+{
+    std::printf("Ablation: active-set size (Coupled mode cycles)\n\n");
+
+    TextTable t;
+    std::vector<std::string> header = {"Benchmark"};
+    const int limits[] = {2, 4, 8, 16, 0};
+    for (int lim : limits)
+        header.push_back(lim == 0 ? "unbounded" : strCat(lim));
+    t.header(header);
+
+    for (const auto& bm : benchmarks::all()) {
+        std::vector<std::string> row = {bm.name};
+        for (int lim : limits) {
+            auto machine = config::baseline();
+            machine.maxActiveThreads = lim;
+            const auto r =
+                bench::runVerified(machine, bm, core::SimMode::Coupled);
+            row.push_back(strCat(r.stats.cycles));
+        }
+        t.row(row);
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n(excess spawns wait for a free slot; a small active "
+                "set serializes the\nforall bursts, a large one adds "
+                "nothing once parallelism is covered)\n");
+
+    // Idle swap-out (the paper's deferred thread management): with a
+    // small active set, swapping idle threads out recovers cycles.
+    std::printf("\nWith idle swap-out (window 16 cycles), active set "
+                "of 4:\n\n");
+    TextTable s;
+    s.header({"Benchmark", "no swap", "swap-out-idle 16"});
+    for (const auto& bm : benchmarks::all()) {
+        auto machine = config::baseline();
+        machine.maxActiveThreads = 4;
+        const auto plain =
+            bench::runVerified(machine, bm, core::SimMode::Coupled);
+        machine.swapOutIdleCycles = 16;
+        const auto swap =
+            bench::runVerified(machine, bm, core::SimMode::Coupled);
+        s.row({bm.name, strCat(plain.stats.cycles),
+               strCat(swap.stats.cycles)});
+    }
+    std::printf("%s", s.render().c_str());
+    return 0;
+}

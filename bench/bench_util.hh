@@ -1,0 +1,49 @@
+#ifndef PROCOUP_BENCH_BENCH_UTIL_HH
+#define PROCOUP_BENCH_BENCH_UTIL_HH
+
+/**
+ * @file
+ * Shared helpers for the experiment harnesses that regenerate the
+ * paper's tables and figures.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
+
+namespace procoup {
+namespace bench {
+
+/** Run one benchmark in one mode on one machine, verifying results. */
+inline core::RunResult
+runVerified(const config::MachineConfig& machine,
+            const core::BenchmarkSource& b, core::SimMode mode)
+{
+    core::CoupledNode node(machine);
+    core::RunResult r = node.runBenchmark(b, mode);
+    std::string why;
+    if (!benchmarks::verify(b.name, r, &why)) {
+        std::fprintf(stderr,
+                     "FATAL: %s/%s computed a wrong result: %s\n",
+                     b.name.c_str(), core::simModeName(mode).c_str(),
+                     why.c_str());
+        std::exit(1);
+    }
+    return r;
+}
+
+inline std::string
+ratio(double num, double den)
+{
+    return fixed(den == 0.0 ? 0.0 : num / den, 2);
+}
+
+} // namespace bench
+} // namespace procoup
+
+#endif // PROCOUP_BENCH_BENCH_UTIL_HH

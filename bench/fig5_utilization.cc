@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces Figure 5: function-unit utilization (average operations
+ * per cycle for the FPUs, IUs, memory units, and branch units) for
+ * every benchmark under every simulation mode.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace procoup;
+
+int
+main()
+{
+    const auto machine = config::baseline();
+    std::printf("Figure 5: function unit utilization "
+                "(ops/cycle per unit class)\n\n");
+
+    TextTable t;
+    t.header({"Benchmark", "Mode", "FPU", "IU", "MEM", "BR"});
+    for (const auto& b : benchmarks::all()) {
+        for (auto mode : core::allSimModes()) {
+            if (mode == core::SimMode::Ideal && !b.hasIdeal())
+                continue;
+            const auto r = bench::runVerified(machine, b, mode);
+            t.row({b.name, core::simModeName(mode),
+                   fixed(r.stats.utilization(isa::UnitType::Float), 2),
+                   fixed(r.stats.utilization(isa::UnitType::Integer),
+                         2),
+                   fixed(r.stats.utilization(isa::UnitType::Memory), 2),
+                   fixed(r.stats.utilization(isa::UnitType::Branch),
+                         2)});
+        }
+        t.separator();
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Figure 7: cycle counts under the three memory models —
+ * Min (single-cycle), Mem1 (5% miss, 20-100 cycle penalty), and Mem2
+ * (10% miss) — for the statically scheduled (STS, Ideal) and threaded
+ * (TPE, Coupled) machines. The paper's finding: long latencies hit
+ * the single-threaded modes far harder because the threaded machines
+ * hide latency by running other threads.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace procoup;
+
+int
+main()
+{
+    struct MemCase
+    {
+        const char* name;
+        config::MachineConfig machine;
+    };
+    const std::vector<MemCase> mems = {
+        {"Min", config::withMemMin(config::baseline())},
+        {"Mem1", config::withMem1(config::baseline())},
+        {"Mem2", config::withMem2(config::baseline())},
+    };
+    const std::vector<core::SimMode> modes = {
+        core::SimMode::Sts, core::SimMode::Ideal, core::SimMode::Tpe,
+        core::SimMode::Coupled};
+
+    std::printf("Figure 7: variable memory latency\n\n");
+    TextTable t;
+    t.header({"Benchmark", "Mode", "Min", "Mem1", "Mem2",
+              "Mem2/Min"});
+
+    // Average Mem2/Min ratio per mode (the paper quotes 5.5x for STS,
+    // 2x for Coupled, 2.3x for TPE).
+    std::vector<double> ratio_sum(modes.size(), 0.0);
+    std::vector<int> ratio_n(modes.size(), 0);
+
+    for (const auto& b : benchmarks::all()) {
+        for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+            const auto mode = modes[mi];
+            if (mode == core::SimMode::Ideal && !b.hasIdeal())
+                continue;
+            std::vector<std::uint64_t> cycles;
+            for (const auto& mem : mems)
+                cycles.push_back(
+                    bench::runVerified(mem.machine, b, mode)
+                        .stats.cycles);
+            const double r = static_cast<double>(cycles[2]) /
+                             static_cast<double>(cycles[0]);
+            ratio_sum[mi] += r;
+            ++ratio_n[mi];
+            t.row({b.name, core::simModeName(mode), strCat(cycles[0]),
+                   strCat(cycles[1]), strCat(cycles[2]), fixed(r, 2)});
+        }
+        t.separator();
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("average Mem2/Min dilation by mode:\n");
+    for (std::size_t mi = 0; mi < modes.size(); ++mi)
+        if (ratio_n[mi] > 0)
+            std::printf("  %-7s %sx\n",
+                        core::simModeName(modes[mi]).c_str(),
+                        fixed(ratio_sum[mi] / ratio_n[mi], 2).c_str());
+    return 0;
+}

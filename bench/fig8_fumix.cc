@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces Figure 8: Coupled-mode cycle count as a function of the
+ * number of integer units and floating point units (1..4 each) with
+ * the number of memory units held at four and a single branch unit.
+ * The paper's finding: both unit types matter — integer units, which
+ * execute the synchronization, address, and loop-control operations,
+ * can bottleneck even floating-point benchmarks.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace procoup;
+
+int
+main()
+{
+    std::printf("Figure 8: number and mix of function units "
+                "(Coupled mode)\n");
+    std::printf("4 memory units, 1 branch unit; cycle count by "
+                "(#IU, #FPU)\n\n");
+
+    for (const auto& b : benchmarks::all()) {
+        std::printf("%s:\n", b.name.c_str());
+        TextTable t;
+        t.header({"", "1 FPU", "2 FPU", "3 FPU", "4 FPU"});
+        for (int iu = 1; iu <= 4; ++iu) {
+            std::vector<std::string> row = {strCat(iu, " IU")};
+            for (int fpu = 1; fpu <= 4; ++fpu) {
+                const auto machine = config::fuMix(iu, fpu);
+                const auto r = bench::runVerified(
+                    machine, b, core::SimMode::Coupled);
+                row.push_back(strCat(r.stats.cycles));
+            }
+            t.row(row);
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

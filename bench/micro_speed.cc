@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark): compiler and
+ * simulator throughput, plus ablations of simulator features (bank
+ * conflict modeling, interconnect schemes). These are not paper
+ * figures; they characterize the reproduction itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/sim/simulator.hh"
+
+namespace {
+
+using namespace procoup;
+
+void
+BM_CompileMatrixCoupled(benchmark::State& state)
+{
+    const auto machine = config::baseline();
+    const auto bench = benchmarks::matrix();
+    core::CoupledNode node(machine);
+    for (auto _ : state) {
+        auto compiled =
+            node.compile(bench.threaded, core::SimMode::Coupled);
+        benchmark::DoNotOptimize(compiled.program.threads.size());
+    }
+}
+BENCHMARK(BM_CompileMatrixCoupled)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileFftIdeal(benchmark::State& state)
+{
+    // Fully unrolled: the heaviest single-block schedule.
+    const auto machine = config::baseline();
+    const auto bench = benchmarks::fft();
+    core::CoupledNode node(machine);
+    for (auto _ : state) {
+        auto compiled = node.compile(bench.ideal, core::SimMode::Ideal);
+        benchmark::DoNotOptimize(compiled.program.threads.size());
+    }
+}
+BENCHMARK(BM_CompileFftIdeal)->Unit(benchmark::kMillisecond);
+
+void
+simulateBenchmark(benchmark::State& state,
+                  const core::BenchmarkSource& bench, core::SimMode mode,
+                  const config::MachineConfig& machine)
+{
+    core::CoupledNode node(machine);
+    const auto compiled = node.compile(bench.forMode(mode), mode);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        sim::Simulator s(machine, compiled.program);
+        cycles = s.run().cycles;
+        benchmark::DoNotOptimize(cycles);
+    }
+    state.counters["sim_cycles"] =
+        benchmark::Counter(static_cast<double>(cycles));
+    state.counters["cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_SimulateMatrixCoupled(benchmark::State& state)
+{
+    simulateBenchmark(state, benchmarks::matrix(),
+                      core::SimMode::Coupled, config::baseline());
+}
+BENCHMARK(BM_SimulateMatrixCoupled)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateLudCoupled(benchmark::State& state)
+{
+    simulateBenchmark(state, benchmarks::lud(), core::SimMode::Coupled,
+                      config::baseline());
+}
+BENCHMARK(BM_SimulateLudCoupled)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateModelMem2(benchmark::State& state)
+{
+    simulateBenchmark(state, benchmarks::model(),
+                      core::SimMode::Coupled,
+                      config::withMem2(config::baseline()));
+}
+BENCHMARK(BM_SimulateModelMem2)->Unit(benchmark::kMillisecond);
+
+/** Ablation: bank-conflict modeling (off in the paper). */
+void
+BM_AblationBankConflicts(benchmark::State& state)
+{
+    auto machine = config::baseline();
+    machine.memory.modelBankConflicts = state.range(0) != 0;
+    simulateBenchmark(state, benchmarks::matrix(),
+                      core::SimMode::Coupled, machine);
+}
+BENCHMARK(BM_AblationBankConflicts)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/** Ablation: interconnect scheme cost in simulator time. */
+void
+BM_AblationInterconnect(benchmark::State& state)
+{
+    const auto scheme =
+        static_cast<config::InterconnectScheme>(state.range(0));
+    simulateBenchmark(
+        state, benchmarks::fft(), core::SimMode::Coupled,
+        config::withInterconnect(config::baseline(), scheme));
+}
+BENCHMARK(BM_AblationInterconnect)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Table 2 and Figure 4 of the paper: baseline cycle counts
+ * for the five machine models (SEQ, STS, TPE, Coupled, Ideal) on the
+ * four benchmarks, with FPU and IU utilization and each mode's cycle
+ * ratio to Coupled. Every run's numeric results are checked against
+ * the C++ reference before being reported.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace procoup;
+
+int
+main()
+{
+    const auto machine = config::baseline();
+    std::printf("Table 2 / Figure 4: baseline comparisons\n");
+    std::printf("machine: 4 arithmetic clusters (IU+FPU+MEM) + 2 branch"
+                " clusters, 1-cycle units,\nfull interconnect, 1-cycle"
+                " memory\n\n");
+
+    // One simulation per (benchmark, mode); reused for both outputs.
+    std::map<std::string, std::map<core::SimMode, core::RunResult>>
+        results;
+    for (const auto& b : benchmarks::all())
+        for (auto mode : core::allSimModes()) {
+            if (mode == core::SimMode::Ideal && !b.hasIdeal())
+                continue;
+            results[b.name].emplace(
+                mode, bench::runVerified(machine, b, mode));
+        }
+
+    TextTable t;
+    t.header({"Benchmark", "Mode", "#Cycles", "vs Coupled", "FPU",
+              "IU"});
+    for (const auto& b : benchmarks::all()) {
+        const auto& by_mode = results.at(b.name);
+        const double coupled = static_cast<double>(
+            by_mode.at(core::SimMode::Coupled).stats.cycles);
+        for (auto mode : core::allSimModes()) {
+            auto it = by_mode.find(mode);
+            if (it == by_mode.end())
+                continue;
+            const auto& s = it->second.stats;
+            t.row({b.name, core::simModeName(mode),
+                   strCat(s.cycles),
+                   bench::ratio(static_cast<double>(s.cycles), coupled),
+                   fixed(s.utilization(isa::UnitType::Float), 2),
+                   fixed(s.utilization(isa::UnitType::Integer), 2)});
+        }
+        t.separator();
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Figure 4 series (cycles by mode):\n");
+    for (const auto& b : benchmarks::all()) {
+        std::printf("  %-7s:", b.name.c_str());
+        for (auto mode : core::allSimModes()) {
+            auto it = results.at(b.name).find(mode);
+            if (it == results.at(b.name).end())
+                continue;
+            std::printf(" %s=%llu", core::simModeName(mode).c_str(),
+                        static_cast<unsigned long long>(
+                            it->second.stats.cycles));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Building a custom machine description.
+ *
+ * The paper's configuration files let every experiment vary "the
+ * number and type of function units, each function unit's pipeline
+ * latency, and the grouping of function units into clusters". This
+ * example hand-builds an asymmetric node — one wide cluster with a
+ * deep (4-cycle) floating point pipeline plus two narrow clusters —
+ * and compares it with the baseline on a small stencil kernel,
+ * printing per-unit-class utilization.
+ */
+
+#include <cstdio>
+
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/support/strings.hh"
+
+namespace {
+
+procoup::config::MachineConfig
+customMachine()
+{
+    using namespace procoup;
+    using isa::UnitType;
+
+    config::MachineConfig m;
+    m.name = "asymmetric";
+
+    // Cluster 0: two integer units, a deep FPU, and a memory unit.
+    config::ClusterConfig wide;
+    wide.units = {
+        {UnitType::Integer, 1},
+        {UnitType::Integer, 1},
+        {UnitType::Float, 4},   // pipelined, 4-cycle latency
+        {UnitType::Memory, 1},
+    };
+    m.clusters.push_back(wide);
+
+    // Clusters 1-2: minimal integer + memory clusters.
+    for (int i = 0; i < 2; ++i) {
+        config::ClusterConfig narrow;
+        narrow.units = {
+            {UnitType::Integer, 1},
+            {UnitType::Memory, 2},  // slower memory pipeline
+        };
+        m.clusters.push_back(narrow);
+    }
+
+    // One branch cluster.
+    config::ClusterConfig br;
+    br.units = {{UnitType::Branch, 1}};
+    m.clusters.push_back(br);
+
+    m.interconnect = config::InterconnectScheme::TriPort;
+    m.memory.hitLatency = 2;
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace procoup;
+
+    const char* source = R"PCL(
+        (defarray u (66) :init-each (sin (* 0.2 i)))
+        (defarray v (66))
+        (defun main ()
+          (forall (t 0 4)
+            (for (k 0 16)
+              (let ((i (+ 1 (+ (* 16 t) k))))
+                (aset v i (* 0.25 (+ (aref u (- i 1))
+                                     (+ (* 2.0 (aref u i))
+                                        (aref u (+ i 1))))))))))
+    )PCL";
+
+    const auto custom = customMachine();
+    std::printf("%s\n", custom.toString().c_str());
+
+    for (const auto& machine : {config::baseline(), custom}) {
+        core::CoupledNode node(machine);
+        const auto run = node.runSource(source, core::SimMode::Coupled);
+        std::printf("%-10s: %5llu cycles | util FPU %.2f IU %.2f "
+                    "MEM %.2f BR %.2f | v[33] = %.4f\n",
+                    machine.name.c_str(),
+                    static_cast<unsigned long long>(run.stats.cycles),
+                    run.stats.utilization(isa::UnitType::Float),
+                    run.stats.utilization(isa::UnitType::Integer),
+                    run.stats.utilization(isa::UnitType::Memory),
+                    run.stats.utilization(isa::UnitType::Branch),
+                    run.value("v", 33));
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Latency hiding: the paper's core claim is that a processor-coupled
+ * node masks unpredictable memory latency by interleaving threads
+ * cycle by cycle, while a statically scheduled machine stalls.
+ *
+ * This example runs the same blocked vector scaling in STS (one
+ * thread, all clusters) and Coupled (eight threads) on three memory
+ * models — Min, Mem1 (5% miss), Mem2 (10% miss) — and prints how much
+ * each machine model dilates.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
+
+int
+main()
+{
+    using namespace procoup;
+
+    const char* sts_source = R"PCL(
+        (defarray a (256) :init-each (* 1.0 i))
+        (defarray b (256))
+        (defun main ()
+          (for (i 0 256)
+            (aset b i (+ (* 2.0 (aref a i)) 1.0))))
+    )PCL";
+
+    const char* coupled_source = R"PCL(
+        (defarray a (256) :init-each (* 1.0 i))
+        (defarray b (256))
+        (defun main ()
+          ;; sixteen threads, sixteen elements each
+          (forall (t 0 16)
+            (for (k 0 16)
+              (let ((i (+ (* 16 t) k)))
+                (aset b i (+ (* 2.0 (aref a i)) 1.0))))))
+    )PCL";
+
+    struct MemCase
+    {
+        const char* name;
+        config::MachineConfig machine;
+    };
+    const std::vector<MemCase> mems = {
+        {"Min", config::withMemMin(config::baseline())},
+        {"Mem1", config::withMem1(config::baseline())},
+        {"Mem2", config::withMem2(config::baseline())},
+    };
+
+    TextTable t;
+    t.header({"Memory", "STS cycles", "Coupled cycles", "STS vs Min",
+              "Coupled vs Min"});
+    double sts_min = 0.0;
+    double coupled_min = 0.0;
+    for (const auto& mem : mems) {
+        core::CoupledNode node(mem.machine);
+        const auto sts = node.runSource(sts_source, core::SimMode::Sts);
+        const auto coupled =
+            node.runSource(coupled_source, core::SimMode::Coupled);
+        if (sts_min == 0.0) {
+            sts_min = static_cast<double>(sts.stats.cycles);
+            coupled_min = static_cast<double>(coupled.stats.cycles);
+        }
+        t.row({mem.name, strCat(sts.stats.cycles),
+               strCat(coupled.stats.cycles),
+               strCat(fixed(sts.stats.cycles / sts_min, 2), "x"),
+               strCat(fixed(coupled.stats.cycles / coupled_min, 2),
+                      "x")});
+    }
+    std::printf("Latency hiding: dilation under rising miss rates\n\n%s"
+                "\nWhen a coupled thread stalls on a miss, the runtime "
+                "scheduler hands its\nfunction units to other threads; "
+                "the statically scheduled machine has\nnothing else to "
+                "run.\n",
+                t.render().c_str());
+    return 0;
+}

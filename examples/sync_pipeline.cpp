@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Synchronizing through memory presence bits (Table 1 of the paper).
+ *
+ * A two-stage software pipeline: a producer thread writes items into
+ * a bounded buffer with `put` (store, wait-empty / set-full) and a
+ * consumer drains them with `take` (load, wait-full / set-empty).
+ * Every cell of the buffer acts as a one-item channel; no locks, no
+ * flags — synchronization is the presence bit itself. The memory
+ * system parks blocked references and wakes them when the bit flips
+ * (the split-transaction protocol), so neither thread spins.
+ */
+
+#include <cstdio>
+
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+
+int
+main()
+{
+    using namespace procoup;
+
+    const char* source = R"PCL(
+        ;; 8-slot channel, used 4 times over = 32 items
+        (defarray chan (8) :empty)
+        (defarray out (32))
+        (defvar checksum 0.0)
+
+        (defun producer ()
+          (for (n 0 32)
+            ;; waits while the slot is still full from last round
+            (put chan (mod n 8) (* 1.5 (float n)))))
+
+        (defun consumer ()
+          (let ((s 0.0))
+            (for (n 0 32)
+              ;; waits until the producer fills the slot
+              (let ((x (take chan (mod n 8))))
+                (aset out n x)
+                (set s (+ s x))))
+            (set checksum s)))
+
+        (defun main ()
+          (fork (producer))
+          (consumer))
+    )PCL";
+
+    core::CoupledNode node(config::baseline());
+    const auto run = node.runSource(source, core::SimMode::Coupled);
+
+    double expected = 0.0;
+    for (int n = 0; n < 32; ++n)
+        expected += 1.5 * n;
+
+    std::printf("pipeline checksum: %g (expected %g)\n",
+                run.value("checksum"), expected);
+    std::printf("cycles: %llu, references parked waiting on presence "
+                "bits: %llu\n",
+                static_cast<unsigned long long>(run.stats.cycles),
+                static_cast<unsigned long long>(run.stats.memParked));
+    std::printf("parked reference-cycles (time threads would have "
+                "spun): %llu\n",
+                static_cast<unsigned long long>(
+                    run.stats.memParkedCycles));
+
+    for (int n = 0; n < 8; ++n)
+        std::printf("out[%d] = %g%s", n, run.value("out", n),
+                    n == 7 ? "\n" : "  ");
+    return run.value("checksum") == expected ? 0 : 1;
+}

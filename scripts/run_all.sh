@@ -1,0 +1,21 @@
+#!/bin/sh
+# Build, test, and regenerate every paper table/figure and ablation.
+# Leaves test_output.txt and bench_output.txt at the repository root.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        [ -f "$b" ] && [ -x "$b" ] || continue
+        echo "==================================================="
+        echo "== $(basename "$b")"
+        echo "==================================================="
+        "$b"
+        echo
+    done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,77 @@
+#ifndef PROCOUP_BENCHMARKS_BENCHMARKS_HH
+#define PROCOUP_BENCHMARKS_BENCHMARKS_HH
+
+/**
+ * @file
+ * The paper's benchmark suite (Section 4), written in PCL:
+ *
+ *  - Matrix: 9x9 floating-point matrix multiply, inner loop unrolled
+ *    completely; threaded version runs the outer loop in parallel;
+ *    Ideal version fully unrolled.
+ *  - FFT: 32-point decimation-in-time FFT of complex numbers with a
+ *    sequential bit-reversal pass; threaded version runs all
+ *    butterflies of a stage concurrently; Ideal version unrolls the
+ *    butterfly loop within each stage.
+ *  - LUD: lower-upper decomposition of the 64x64 adjacency matrix of
+ *    an 8x8 mesh (sparse, data-dependent control; no Ideal version).
+ *  - Model: a circuit-simulator model evaluator over a 20-device
+ *    synthetic CMOS netlist (no Ideal version).
+ *
+ * Each benchmark also has a C++ reference implementation mirroring
+ * the PCL arithmetic exactly; verify() checks a run's outputs.
+ */
+
+#include <string>
+#include <vector>
+
+#include "procoup/core/node.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+core::BenchmarkSource matrix();
+core::BenchmarkSource fft();
+core::BenchmarkSource lud();
+core::BenchmarkSource model();
+
+/** All four, in the paper's order. */
+const std::vector<core::BenchmarkSource>& all();
+
+/** Look a benchmark up by name ("Matrix", "FFT", "LUD", "Model"). */
+const core::BenchmarkSource& byName(const std::string& name);
+
+/**
+ * Check a finished run of benchmark @p name against the C++
+ * reference.
+ *
+ * @param[out] why filled with a mismatch description on failure
+ */
+bool verify(const std::string& name, const core::RunResult& run,
+            std::string* why = nullptr);
+
+/**
+ * The Table 3 interference study: a modified Model in which four
+ * persistent threads share a priority queue of 20 identical devices.
+ * `coupled` runs four workers; `sts` is the single-threaded version;
+ * `single_worker` runs one worker alone (its uncontended iteration
+ * time approximates the compile-time schedule length).
+ * Iteration boundaries carry MARK id markIterate; worker thread ids
+ * are 1..4 in the coupled program (0 is main).
+ */
+struct InterferenceSources
+{
+    std::string coupled;
+    std::string sts;
+    std::string single_worker;
+
+    static constexpr std::int64_t markIterate = 1;
+    static constexpr int numWorkers = 4;
+    static constexpr int numDevices = 20;
+};
+
+InterferenceSources modelQueue();
+
+} // namespace benchmarks
+} // namespace procoup
+
+#endif // PROCOUP_BENCHMARKS_BENCHMARKS_HH

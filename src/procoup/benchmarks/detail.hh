@@ -1,0 +1,23 @@
+#ifndef PROCOUP_BENCHMARKS_DETAIL_HH
+#define PROCOUP_BENCHMARKS_DETAIL_HH
+
+/** @file Internal: per-benchmark reference verifiers. */
+
+#include <string>
+
+#include "procoup/core/node.hh"
+
+namespace procoup {
+namespace benchmarks {
+namespace detail {
+
+bool verifyMatrix(const core::RunResult& run, std::string* why);
+bool verifyFft(const core::RunResult& run, std::string* why);
+bool verifyLud(const core::RunResult& run, std::string* why);
+bool verifyModel(const core::RunResult& run, std::string* why);
+
+} // namespace detail
+} // namespace benchmarks
+} // namespace procoup
+
+#endif // PROCOUP_BENCHMARKS_DETAIL_HH

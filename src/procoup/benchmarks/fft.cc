@@ -1,0 +1,170 @@
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/benchmarks/detail.hh"
+
+#include <cmath>
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+namespace {
+
+/** Input vector, working arrays, and the twiddle-factor tables
+ *  (evaluated at compile time, like table ROMs). */
+const char* kData = R"PCL(
+(defarray inr (32) :init-each (cos (* 0.7 i)))
+(defarray ini (32) :init-each (sin (* 0.4 i)))
+(defarray xr (32))
+(defarray xi (32))
+(defarray wr (16) :init-each (cos (/ (* -6.283185307179586 i) 32.0)))
+(defarray wi (16) :init-each (sin (/ (* -6.283185307179586 i) 32.0)))
+)PCL";
+
+/** Sequential bit-reversal data movement ("places the input vector in
+ *  bit-flipped order"). @p unroll chooses the Ideal variant. */
+std::string
+bitrev(bool unroll)
+{
+    const char* u = unroll ? " :unroll" : "";
+    return strCat(
+        "  (for (i 0 32", u, ")"
+        "    (let ((j 0) (t i))"
+        "      (for (b 0 5", u, ")"
+        "        (set j (+ (* 2 j) (mod t 2)))"
+        "        (set t (/ t 2)))"
+        "      (aset xr j (aref inr i))"
+        "      (aset xi j (aref ini i))))");
+}
+
+/** One radix-2 DIT butterfly, written against stage width `half` and
+ *  butterfly number `b`. */
+const char* kButterfly = R"PCL(
+        (let ((grp (/ b half)) (pos (mod b half)))
+          (let ((i1 (+ (* grp (* 2 half)) pos))
+                (tw (* pos (/ 16 half))))
+            (let ((i2 (+ i1 half)))
+              (let ((tr (- (* (aref wr tw) (aref xr i2))
+                           (* (aref wi tw) (aref xi i2))))
+                    (ti (+ (* (aref wr tw) (aref xi i2))
+                           (* (aref wi tw) (aref xr i2)))))
+                (let ((ur (aref xr i1)) (ui (aref xi i1)))
+                  (aset xr i2 (- ur tr))
+                  (aset xi i2 (- ui ti))
+                  (aset xr i1 (+ ur tr))
+                  (aset xi i1 (+ ui ti)))))))
+)PCL";
+
+} // namespace
+
+core::BenchmarkSource
+fft()
+{
+    core::BenchmarkSource out;
+    out.name = "FFT";
+
+    out.sequential = strCat(kData,
+        "(defun main ()", bitrev(false),
+        "  (let ((half 1))"
+        "    (for (s 0 5)"
+        "      (for (b 0 16)", kButterfly, ")"
+        "      (set half (* 2 half)))))");
+
+    // Ideal: everything unrolled; stage widths become compile-time
+    // constants, so all addresses fold.
+    out.ideal = strCat(kData,
+        "(defun main ()", bitrev(true),
+        "  (for (s 0 5 :unroll)"
+        "    (let ((half 1))"
+        "      (for (t 0 s :unroll) (set half (* 2 half)))"
+        "      (for (b 0 16 :unroll)", kButterfly, "))))");
+
+    // Threaded: all butterflies of one stage run concurrently; the
+    // forall join is the stage barrier.
+    out.threaded = strCat(kData,
+        "(defun main ()", bitrev(false),
+        "  (let ((half 1))"
+        "    (for (s 0 5)"
+        "      (forall (b 0 16)", kButterfly, ")"
+        "      (set half (* 2 half)))))");
+    return out;
+}
+
+namespace detail {
+
+namespace {
+
+void
+fftReference(double outr[32], double outi[32])
+{
+    double inr[32];
+    double ini[32];
+    double wr[16];
+    double wi[16];
+    for (int i = 0; i < 32; ++i) {
+        inr[i] = std::cos(0.7 * i);
+        ini[i] = std::sin(0.4 * i);
+    }
+    for (int i = 0; i < 16; ++i) {
+        wr[i] = std::cos(-6.283185307179586 * i / 32.0);
+        wi[i] = std::sin(-6.283185307179586 * i / 32.0);
+    }
+
+    for (int i = 0; i < 32; ++i) {
+        int j = 0;
+        int t = i;
+        for (int b = 0; b < 5; ++b) {
+            j = 2 * j + t % 2;
+            t /= 2;
+        }
+        outr[j] = inr[i];
+        outi[j] = ini[i];
+    }
+
+    int half = 1;
+    for (int s = 0; s < 5; ++s) {
+        for (int b = 0; b < 16; ++b) {
+            const int grp = b / half;
+            const int pos = b % half;
+            const int i1 = grp * 2 * half + pos;
+            const int tw = pos * (16 / half);
+            const int i2 = i1 + half;
+            const double tr = wr[tw] * outr[i2] - wi[tw] * outi[i2];
+            const double ti = wr[tw] * outi[i2] + wi[tw] * outr[i2];
+            const double ur = outr[i1];
+            const double ui = outi[i1];
+            outr[i2] = ur - tr;
+            outi[i2] = ui - ti;
+            outr[i1] = ur + tr;
+            outi[i1] = ui + ti;
+        }
+        half *= 2;
+    }
+}
+
+} // namespace
+
+bool
+verifyFft(const core::RunResult& run, std::string* why)
+{
+    double r[32];
+    double im[32];
+    fftReference(r, im);
+    for (int i = 0; i < 32; ++i) {
+        const double gr = run.value("xr", i);
+        const double gi = run.value("xi", i);
+        if (std::fabs(gr - r[i]) > 1e-9 ||
+                std::fabs(gi - im[i]) > 1e-9) {
+            if (why != nullptr)
+                *why = strCat("X[", i, "] = (", gr, ", ", gi,
+                              "), expected (", r[i], ", ", im[i], ")");
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace detail
+
+} // namespace benchmarks
+} // namespace procoup

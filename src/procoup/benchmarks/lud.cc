@@ -1,0 +1,151 @@
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/benchmarks/detail.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+namespace {
+
+/**
+ * "The input data is a 64x64 adjacency matrix of an 8x8 mesh": 4 on
+ * the diagonal, -1 between mesh neighbours (boundary rows have fewer
+ * neighbours, making the system positive definite, so LU without
+ * pivoting is stable).
+ */
+const char* kData = R"PCL(
+(defarray la (64 64) :init-each
+  (if (= r c) 4.0
+    (if (or (and (= (/ r 8) (/ c 8))
+                 (or (= (- r c) 1) (= (- c r) 1)))
+            (or (= (- r c) 8) (= (- c r) 8)))
+        -1.0
+        0.0)))
+(defarray nzc (64) :int)
+)PCL";
+
+/**
+ * Sparse column gather: collect the nonzero columns j > k of source
+ * row k into nzc (the solver is sparse — target-row updates only
+ * visit these columns). Binds `nnz` in the surrounding scope.
+ */
+const char* kGather = R"PCL(
+    (let ((nnz 0))
+      (for (j (+ k 1) 64)
+        (if (!= (aref la k j) 0.0)
+            (begin
+              (aset nzc nnz j)
+              (set nnz (+ nnz 1)))))
+)PCL";
+
+/** Update of one target row i: data-dependent on the pivot column
+ *  entry, then a compressed sweep over the gathered columns. */
+const char* kRowUpdate = R"PCL(
+      (if (!= (aref la i k) 0.0)
+          (let ((l (/ (aref la i k) (aref la k k))))
+            (aset la i k l)
+            (for (t 0 nnz)
+              (let ((j (aref nzc t)))
+                (aset la i j
+                      (- (aref la i j) (* l (aref la k j))))))))
+)PCL";
+
+} // namespace
+
+core::BenchmarkSource
+lud()
+{
+    core::BenchmarkSource out;
+    out.name = "LUD";
+
+    out.sequential = strCat(kData,
+        "(defun main ()"
+        "  (for (k 0 64)", kGather,
+        "    (for (i (+ k 1) 64)", kRowUpdate, "))))");
+
+    // "No loops are unrolled and there is no ideal version since the
+    // control flow depends upon the input data."
+    out.ideal.clear();
+
+    // "After selecting a source row, the threaded version updates all
+    // of the target rows concurrently."
+    out.threaded = strCat(kData,
+        "(defun main ()"
+        "  (for (k 0 64)", kGather,
+        "    (forall (i (+ k 1) 64)", kRowUpdate, "))))");
+    return out;
+}
+
+namespace detail {
+
+namespace {
+
+constexpr int kN = 64;
+
+void
+ludReference(std::vector<double>& a)
+{
+    a.assign(kN * kN, 0.0);
+    for (int r = 0; r < kN; ++r)
+        for (int c = 0; c < kN; ++c) {
+            double v = 0.0;
+            if (r == c) {
+                v = 4.0;
+            } else {
+                const bool same_mesh_row = r / 8 == c / 8;
+                const bool horiz =
+                    same_mesh_row && (r - c == 1 || c - r == 1);
+                const bool vert = r - c == 8 || c - r == 8;
+                if (horiz || vert)
+                    v = -1.0;
+            }
+            a[kN * r + c] = v;
+        }
+
+    std::vector<int> nzc(kN);
+    for (int k = 0; k < kN; ++k) {
+        int nnz = 0;
+        for (int j = k + 1; j < kN; ++j)
+            if (a[kN * k + j] != 0.0)
+                nzc[nnz++] = j;
+        for (int i = k + 1; i < kN; ++i) {
+            if (a[kN * i + k] == 0.0)
+                continue;
+            const double l = a[kN * i + k] / a[kN * k + k];
+            a[kN * i + k] = l;
+            for (int t = 0; t < nnz; ++t) {
+                const int j = nzc[t];
+                a[kN * i + j] -= l * a[kN * k + j];
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+verifyLud(const core::RunResult& run, std::string* why)
+{
+    std::vector<double> ref;
+    ludReference(ref);
+    for (int i = 0; i < kN; ++i)
+        for (int j = 0; j < kN; ++j) {
+            const double got = run.value("la", kN * i + j);
+            if (std::fabs(got - ref[kN * i + j]) > 1e-6) {
+                if (why != nullptr)
+                    *why = strCat("la[", i, "][", j, "] = ", got,
+                                  ", expected ", ref[kN * i + j]);
+                return false;
+            }
+        }
+    return true;
+}
+
+} // namespace detail
+
+} // namespace benchmarks
+} // namespace procoup

@@ -1,0 +1,91 @@
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/benchmarks/detail.hh"
+
+#include <cmath>
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+namespace {
+
+/** Shared data declarations: A and B initialized by formula. */
+const char* kData = R"PCL(
+(defarray ma (9 9) :init-each (+ 1.0 (* 0.25 (- r c))))
+(defarray mb (9 9) :init-each (- (* 0.5 c) (* 0.125 r)))
+(defarray mc (9 9))
+)PCL";
+
+/** The dot-product body with the inner (k) loop unrolled completely,
+ *  as the paper specifies for every Matrix variant. */
+const char* kBody = R"PCL(
+      (let ((s 0.0))
+        (for (k 0 9 :unroll)
+          (set s (+ s (* (aref ma i k) (aref mb k j)))))
+        (aset mc i j s))
+)PCL";
+
+} // namespace
+
+core::BenchmarkSource
+matrix()
+{
+    core::BenchmarkSource b;
+    b.name = "Matrix";
+    b.sequential = strCat(kData,
+        "(defun main ()"
+        "  (for (i 0 9) (for (j 0 9)", kBody, ")))");
+    b.ideal = strCat(kData,
+        "(defun main ()"
+        "  (for (i 0 9 :unroll) (for (j 0 9 :unroll)", kBody, ")))");
+    b.threaded = strCat(kData,
+        "(defun main ()"
+        "  (forall (i 0 9) (for (j 0 9)", kBody, ")))");
+    return b;
+}
+
+namespace detail {
+
+/** Reference result, mirroring the PCL arithmetic order exactly. */
+void
+matrixReference(double out[9][9])
+{
+    double a[9][9];
+    double b[9][9];
+    for (int r = 0; r < 9; ++r)
+        for (int c = 0; c < 9; ++c) {
+            a[r][c] = 1.0 + 0.25 * (r - c);
+            b[r][c] = 0.5 * c - 0.125 * r;
+        }
+    for (int i = 0; i < 9; ++i)
+        for (int j = 0; j < 9; ++j) {
+            double s = 0.0;
+            for (int k = 0; k < 9; ++k)
+                s += a[i][k] * b[k][j];
+            out[i][j] = s;
+        }
+}
+
+bool
+verifyMatrix(const core::RunResult& run, std::string* why)
+{
+    double ref[9][9];
+    matrixReference(ref);
+    for (int i = 0; i < 9; ++i)
+        for (int j = 0; j < 9; ++j) {
+            const double got = run.value("mc", 9 * i + j);
+            if (std::fabs(got - ref[i][j]) > 1e-9) {
+                if (why != nullptr)
+                    *why = strCat("mc[", i, "][", j, "] = ", got,
+                                  ", expected ", ref[i][j]);
+                return false;
+            }
+        }
+    return true;
+}
+
+} // namespace detail
+
+} // namespace benchmarks
+} // namespace procoup

@@ -1,0 +1,257 @@
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/benchmarks/detail.hh"
+
+#include <cmath>
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+namespace {
+
+constexpr int kDevices = 20;
+constexpr int kNodes = 10;
+constexpr int kIterations = 4;
+
+/**
+ * Synthetic 20-device CMOS netlist standing in for the paper's
+ * operational-amplifier input (see DESIGN.md, substitutions): device
+ * terminals, transconductance, threshold, and polarity are generated
+ * by formula; node voltages relax over a short master loop.
+ */
+const char* kData = R"PCL(
+(defarray vnode (10) :init-each (- (* 0.35 i) 1.2))
+(defarray dg (20) :int :init-each (mod (* 3 i) 10))
+(defarray dd (20) :int :init-each (mod (+ (* 7 i) 2) 10))
+(defarray ds (20) :int :init-each (mod (+ i 5) 10))
+(defarray kp (20) :init-each (+ 0.8 (* 0.03 i)))
+(defarray vt (20) :init-each (+ 0.4 (* 0.01 i)))
+(defarray pol (20) :init-each (if (= (mod i 2) 0) 1.0 -1.0))
+(defarray idev (20))
+(defarray inode (10))
+)PCL";
+
+/** Level-1 MOSFET evaluation with cutoff / linear / saturation
+ *  regions (the data-dependent control of this benchmark) plus
+ *  channel-length modulation in saturation. */
+const char* kEval = R"PCL(
+(defun evaldev (d)
+  (let ((p (aref pol d)))
+    (let ((vg (* p (aref vnode (aref dg d))))
+          (vd (* p (aref vnode (aref dd d))))
+          (vs (* p (aref vnode (aref ds d)))))
+      (let ((vgs (- vg vs))
+            (vds (- vd vs))
+            (vth (aref vt d))
+            (k (aref kp d)))
+        (let ((ov (- vgs vth)))
+          (let ((cur (if (<= vgs vth)
+                         0.0
+                         (if (< vds ov)
+                             (* k (- (* ov vds) (* 0.5 (* vds vds))))
+                             (* (* (* 0.5 k) (* ov ov))
+                                (+ 1.0 (* 0.02 vds)))))))
+            (aset idev d (* p cur))))))))
+)PCL";
+
+/** Gather device currents into node current changes, relax voltages. */
+const char* kRelax = R"PCL(
+    (for (n 0 10) (aset inode n 0.0))
+    (for (d 0 20)
+      (aset inode (aref dd d) (+ (aref inode (aref dd d)) (aref idev d)))
+      (aset inode (aref ds d) (- (aref inode (aref ds d)) (aref idev d))))
+    (for (n 0 10)
+      (aset vnode n (- (aref vnode n) (* 0.05 (aref inode n)))))
+)PCL";
+
+} // namespace
+
+core::BenchmarkSource
+model()
+{
+    core::BenchmarkSource out;
+    out.name = "Model";
+
+    out.sequential = strCat(kData, kEval,
+        "(defun main ()"
+        "  (for (it 0 4)"
+        "    (for (d 0 20) (evaldev d))", kRelax, "))");
+
+    // Data-dependent regions: no Ideal version, as in the paper.
+    out.ideal.clear();
+
+    // "The threaded version creates a new thread to evaluate each
+    // device on each iteration of a master loop."
+    out.threaded = strCat(kData, kEval,
+        "(defun main ()"
+        "  (for (it 0 4)"
+        "    (forall (d 0 20) (evaldev d))", kRelax, "))");
+    return out;
+}
+
+InterferenceSources
+modelQueue()
+{
+    // Identical devices, all at the same (saturation) operating
+    // point, so every operation in the source executes; parameters
+    // are loaded from memory so the evaluation does not constant-fold
+    // away.
+    const char* data = R"PCL(
+(defarray head (1) :int)
+(defarray wdone (4) :int :empty)
+(defarray vop (3) :init (2.0 1.8 0.0))
+(defarray par (2) :init (0.9 0.5))
+(defarray qout (20))
+)PCL";
+
+    const char* eval = R"PCL(
+(defun evalfixed (slot)
+  (let ((vg (aref vop 0)) (vd (aref vop 1)) (vs (aref vop 2))
+        (k (aref par 0)) (vth (aref par 1)))
+    (let ((vgs (- vg vs)) (vds (- vd vs)))
+      (let ((ov (- vgs vth)))
+        (let ((lin (* k (- (* ov vds) (* 0.5 (* vds vds)))))
+              (sat (* (* (* 0.5 k) (* ov ov))
+                      (+ 1.0 (* 0.02 vds))))
+              (gm  (* k ov))
+              (gds (* (* 0.02 (* 0.5 k)) (* ov ov))))
+          (aset qout slot
+                (+ (+ sat (* 0.0 lin))
+                   (* 0.0 (+ gm gds)))))))))
+)PCL";
+
+    const char* worker = R"PCL(
+(defun worker (w)
+  (let ((running 1))
+    (while (= running 1)
+      (let ((h (take head 0)))
+        (if (< h 20)
+            (begin
+              (aset head 0 (+ h 1))
+              (mark 1)
+              (evalfixed h))
+            (begin
+              (aset head 0 h)
+              (set running 0)))))
+    (put wdone w 1)))
+)PCL";
+
+    // The sum forces the parent to consume every take (a load whose
+    // value nothing reads does not block the issuing thread).
+    InterferenceSources out;
+    out.coupled = strCat(data, eval, worker,
+        "(defvar joined 0)"
+        "(defun main ()"
+        "  (fork (worker 0)) (fork (worker 1))"
+        "  (fork (worker 2)) (fork (worker 3))"
+        "  (set joined (+ (take wdone 0) (take wdone 1)"
+        "                 (take wdone 2) (take wdone 3))))");
+    out.single_worker = strCat(data, eval, worker,
+        "(defvar joined 0)"
+        "(defun main ()"
+        "  (fork (worker 0))"
+        "  (set joined (take wdone 0)))");
+    out.sts = strCat(data, eval,
+        "(defun main ()"
+        "  (for (h 0 20)"
+        "    (mark 1)"
+        "    (evalfixed h)))");
+    return out;
+}
+
+namespace detail {
+
+namespace {
+
+struct ModelState
+{
+    double v[kNodes];
+    int dg[kDevices];
+    int dd[kDevices];
+    int ds[kDevices];
+    double kp[kDevices];
+    double vt[kDevices];
+    double pol[kDevices];
+    double idev[kDevices];
+    double inode[kNodes];
+};
+
+void
+modelReference(ModelState& st)
+{
+    for (int i = 0; i < kNodes; ++i)
+        st.v[i] = 0.35 * i - 1.2;
+    for (int i = 0; i < kDevices; ++i) {
+        st.dg[i] = (3 * i) % 10;
+        st.dd[i] = (7 * i + 2) % 10;
+        st.ds[i] = (i + 5) % 10;
+        st.kp[i] = 0.8 + 0.03 * i;
+        st.vt[i] = 0.4 + 0.01 * i;
+        st.pol[i] = i % 2 == 0 ? 1.0 : -1.0;
+        st.idev[i] = 0.0;
+    }
+
+    for (int it = 0; it < kIterations; ++it) {
+        for (int d = 0; d < kDevices; ++d) {
+            const double p = st.pol[d];
+            const double vg = p * st.v[st.dg[d]];
+            const double vd = p * st.v[st.dd[d]];
+            const double vs = p * st.v[st.ds[d]];
+            const double vgs = vg - vs;
+            const double vds = vd - vs;
+            const double vth = st.vt[d];
+            const double k = st.kp[d];
+            const double ov = vgs - vth;
+            double cur;
+            if (vgs <= vth)
+                cur = 0.0;
+            else if (vds < ov)
+                cur = k * (ov * vds - 0.5 * (vds * vds));
+            else
+                cur = 0.5 * k * (ov * ov) * (1.0 + 0.02 * vds);
+            st.idev[d] = p * cur;
+        }
+        for (int n = 0; n < kNodes; ++n)
+            st.inode[n] = 0.0;
+        for (int d = 0; d < kDevices; ++d) {
+            st.inode[st.dd[d]] += st.idev[d];
+            st.inode[st.ds[d]] -= st.idev[d];
+        }
+        for (int n = 0; n < kNodes; ++n)
+            st.v[n] -= 0.05 * st.inode[n];
+    }
+}
+
+} // namespace
+
+bool
+verifyModel(const core::RunResult& run, std::string* why)
+{
+    ModelState st;
+    modelReference(st);
+    for (int n = 0; n < kNodes; ++n) {
+        const double got = run.value("vnode", n);
+        if (std::fabs(got - st.v[n]) > 1e-9) {
+            if (why != nullptr)
+                *why = strCat("vnode[", n, "] = ", got, ", expected ",
+                              st.v[n]);
+            return false;
+        }
+    }
+    for (int d = 0; d < kDevices; ++d) {
+        const double got = run.value("idev", d);
+        if (std::fabs(got - st.idev[d]) > 1e-9) {
+            if (why != nullptr)
+                *why = strCat("idev[", d, "] = ", got, ", expected ",
+                              st.idev[d]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace detail
+
+} // namespace benchmarks
+} // namespace procoup

@@ -1,0 +1,43 @@
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/benchmarks/detail.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+const std::vector<core::BenchmarkSource>&
+all()
+{
+    static const std::vector<core::BenchmarkSource> suite = {
+        matrix(), fft(), lud(), model()};
+    return suite;
+}
+
+const core::BenchmarkSource&
+byName(const std::string& name)
+{
+    for (const auto& b : all())
+        if (b.name == name)
+            return b;
+    throw CompileError(strCat("unknown benchmark: ", name));
+}
+
+bool
+verify(const std::string& name, const core::RunResult& run,
+       std::string* why)
+{
+    if (name == "Matrix")
+        return detail::verifyMatrix(run, why);
+    if (name == "FFT")
+        return detail::verifyFft(run, why);
+    if (name == "LUD")
+        return detail::verifyLud(run, why);
+    if (name == "Model")
+        return detail::verifyModel(run, why);
+    throw CompileError(strCat("unknown benchmark: ", name));
+}
+
+} // namespace benchmarks
+} // namespace procoup

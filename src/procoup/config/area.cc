@@ -1,0 +1,71 @@
+#include "procoup/config/area.hh"
+
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace config {
+
+namespace {
+
+int
+writePortsPerFile(const MachineConfig& m)
+{
+    switch (m.interconnect) {
+      case InterconnectScheme::Full:
+        // Every register-writing unit may write concurrently (branch
+        // units produce no register results and need no ports).
+        return m.numFus() - m.countUnits(isa::UnitType::Branch);
+      case InterconnectScheme::TriPort:
+        return 3;
+      case InterconnectScheme::DualPort:
+      case InterconnectScheme::SharedBus:
+        return 2;
+      case InterconnectScheme::SinglePort:
+        return 1;
+    }
+    PROCOUP_PANIC("bad InterconnectScheme");
+}
+
+double
+busCount(const MachineConfig& m)
+{
+    const double clusters = static_cast<double>(m.clusters.size());
+    switch (m.interconnect) {
+      case InterconnectScheme::Full:
+        return static_cast<double>(
+                   m.numFus() -
+                   m.countUnits(isa::UnitType::Branch)) *
+               clusters;
+      case InterconnectScheme::TriPort:
+        return 2.0 * clusters;
+      case InterconnectScheme::DualPort:
+      case InterconnectScheme::SinglePort:
+        return clusters;
+      case InterconnectScheme::SharedBus:
+        return 1.0;
+    }
+    PROCOUP_PANIC("bad InterconnectScheme");
+}
+
+} // namespace
+
+AreaEstimate
+estimateArea(const MachineConfig& machine, int regs_per_file, int bits)
+{
+    AreaEstimate out;
+    const int writes = writePortsPerFile(machine);
+    for (const auto& cluster : machine.clusters) {
+        const int reads = 2 * static_cast<int>(cluster.units.size());
+        const double ports = 1.0 + reads + writes;
+        out.registerFileArea +=
+            static_cast<double>(regs_per_file) * bits * ports * ports;
+    }
+
+    // One bus runs the width of the machine; weight by word width.
+    out.busArea = busCount(machine) * bits *
+                  static_cast<double>(machine.clusters.size()) * 24.0;
+    return out;
+}
+
+} // namespace config
+} // namespace procoup

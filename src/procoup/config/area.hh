@@ -1,0 +1,57 @@
+#ifndef PROCOUP_CONFIG_AREA_HH
+#define PROCOUP_CONFIG_AREA_HH
+
+/**
+ * @file
+ * First-order area model for the register files and the unit
+ * interconnection network (the paper's Section 6 feasibility study).
+ *
+ * The paper argues that restricted communication buys area: "the
+ * number of buses to implement a fully connected scheme ... is
+ * proportional to the number of function units times the number of
+ * clusters", the fully connected configuration needs extra register
+ * ports, and "in a four cluster system the interconnection and
+ * register file area for Tri-Port is 28% that of complete
+ * connection."
+ *
+ * Model:
+ *  - a register cell's area grows quadratically with its ports (each
+ *    port adds a word line and a bit line): cell ∝ (1 + reads +
+ *    writes)²;
+ *  - reads per file = 2 per local function unit (two source operands);
+ *  - writes per file by scheme: Full = every unit in the machine may
+ *    write concurrently; Tri-Port = 3; Dual-Port / Shared-Bus = 2;
+ *    Single-Port = 1;
+ *  - bus wiring ∝ (number of buses) × (machine width in clusters):
+ *    Full = units × clusters, Tri-Port = 2 per cluster, Dual-Port and
+ *    Single-Port = 1 per cluster, Shared-Bus = 1 total.
+ */
+
+#include "procoup/config/machine.hh"
+
+namespace procoup {
+namespace config {
+
+/** Area estimate in arbitrary (consistent) units. */
+struct AreaEstimate
+{
+    double registerFileArea = 0.0;
+    double busArea = 0.0;
+
+    double total() const { return registerFileArea + busArea; }
+};
+
+/**
+ * Estimate register-file + interconnect area for @p machine.
+ *
+ * @param regs_per_file register count per file (the paper's realistic
+ *        configurations peak below 60; default 64)
+ * @param bits word width
+ */
+AreaEstimate estimateArea(const MachineConfig& machine,
+                          int regs_per_file = 64, int bits = 64);
+
+} // namespace config
+} // namespace procoup
+
+#endif // PROCOUP_CONFIG_AREA_HH

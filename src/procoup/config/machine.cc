@@ -1,0 +1,166 @@
+#include "procoup/config/machine.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace config {
+
+bool
+ClusterConfig::hasUnit(isa::UnitType t) const
+{
+    for (const auto& u : units)
+        if (u.type == t)
+            return true;
+    return false;
+}
+
+std::string
+arbitrationPolicyName(ArbitrationPolicy p)
+{
+    switch (p) {
+      case ArbitrationPolicy::FixedPriority: return "fixed-priority";
+      case ArbitrationPolicy::RoundRobin:    return "round-robin";
+    }
+    PROCOUP_PANIC("bad ArbitrationPolicy");
+}
+
+std::string
+interconnectSchemeName(InterconnectScheme s)
+{
+    switch (s) {
+      case InterconnectScheme::Full:       return "Full";
+      case InterconnectScheme::TriPort:    return "Tri-Port";
+      case InterconnectScheme::DualPort:   return "Dual-Port";
+      case InterconnectScheme::SinglePort: return "Single-Port";
+      case InterconnectScheme::SharedBus:  return "Shared-Bus";
+    }
+    PROCOUP_PANIC("bad InterconnectScheme");
+}
+
+int
+MachineConfig::numFus() const
+{
+    int n = 0;
+    for (const auto& c : clusters)
+        n += static_cast<int>(c.units.size());
+    return n;
+}
+
+int
+MachineConfig::fuCluster(int fu) const
+{
+    int base = 0;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        const int n = static_cast<int>(clusters[c].units.size());
+        if (fu < base + n)
+            return static_cast<int>(c);
+        base += n;
+    }
+    PROCOUP_PANIC(strCat("function unit index out of range: ", fu));
+}
+
+const FuConfig&
+MachineConfig::fuConfig(int fu) const
+{
+    int base = 0;
+    for (const auto& c : clusters) {
+        const int n = static_cast<int>(c.units.size());
+        if (fu < base + n)
+            return c.units[fu - base];
+        base += n;
+    }
+    PROCOUP_PANIC(strCat("function unit index out of range: ", fu));
+}
+
+std::vector<int>
+MachineConfig::fusOfType(isa::UnitType t) const
+{
+    std::vector<int> out;
+    int fu = 0;
+    for (const auto& c : clusters)
+        for (const auto& u : c.units) {
+            if (u.type == t)
+                out.push_back(fu);
+            ++fu;
+        }
+    return out;
+}
+
+std::vector<int>
+MachineConfig::fusOfCluster(int c) const
+{
+    PROCOUP_ASSERT(c >= 0 && c < static_cast<int>(clusters.size()),
+                   "cluster index out of range");
+    int base = 0;
+    for (int i = 0; i < c; ++i)
+        base += static_cast<int>(clusters[i].units.size());
+    std::vector<int> out;
+    for (std::size_t i = 0; i < clusters[c].units.size(); ++i)
+        out.push_back(base + static_cast<int>(i));
+    return out;
+}
+
+int
+MachineConfig::fuInCluster(int c, isa::UnitType t) const
+{
+    for (int fu : fusOfCluster(c))
+        if (fuConfig(fu).type == t)
+            return fu;
+    return -1;
+}
+
+std::vector<int>
+MachineConfig::arithClusters() const
+{
+    std::vector<int> out;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        bool arith = false;
+        for (const auto& u : clusters[c].units)
+            if (u.type != isa::UnitType::Branch)
+                arith = true;
+        if (arith)
+            out.push_back(static_cast<int>(c));
+    }
+    return out;
+}
+
+std::vector<int>
+MachineConfig::branchClusters() const
+{
+    std::vector<int> out;
+    for (std::size_t c = 0; c < clusters.size(); ++c)
+        if (clusters[c].hasUnit(isa::UnitType::Branch))
+            out.push_back(static_cast<int>(c));
+    return out;
+}
+
+int
+MachineConfig::countUnits(isa::UnitType t) const
+{
+    return static_cast<int>(fusOfType(t).size());
+}
+
+std::string
+MachineConfig::toString() const
+{
+    std::string s = strCat("machine ", name, " (",
+                           interconnectSchemeName(interconnect), ")\n");
+    int fu = 0;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        s += strCat("  cluster ", c, ":");
+        for (const auto& u : clusters[c].units) {
+            s += strCat(" fu", fu, "=", unitTypeName(u.type),
+                        "(lat ", u.latency, ")");
+            ++fu;
+        }
+        s += "\n";
+    }
+    s += strCat("  memory: hit ", memory.hitLatency, " cyc, miss rate ",
+                memory.missRate, ", penalty [", memory.missPenaltyMin,
+                ", ", memory.missPenaltyMax, "]\n");
+    return s;
+}
+
+} // namespace config
+} // namespace procoup

@@ -1,0 +1,38 @@
+#ifndef PROCOUP_CONFIG_PARSE_HH
+#define PROCOUP_CONFIG_PARSE_HH
+
+/**
+ * @file
+ * Machine configuration files.
+ *
+ * The paper's experimental environment drives both the compiler and
+ * the simulator from "a configuration file for the machine to be
+ * simulated". This module parses an s-expression machine description:
+ *
+ *   (machine baseline
+ *     (cluster (iu 1) (fpu 1) (mem 1))   ; unit type + latency
+ *     (cluster (iu 1) (fpu 1) (mem 1))
+ *     (cluster (br 1))
+ *     (interconnect tri-port)            ; full | tri-port | dual-port
+ *                                        ; | single-port | shared-bus
+ *     (memory :hit 1 :miss-rate 0.05 :penalty 20 100
+ *             :banks 4 :seed 7 :bank-conflicts)
+ *     (max-active-threads 16))
+ *
+ * Every section except the clusters is optional.
+ */
+
+#include <string>
+
+#include "procoup/config/machine.hh"
+
+namespace procoup {
+namespace config {
+
+/** Parse one machine description. @throws CompileError */
+MachineConfig parseMachine(const std::string& text);
+
+} // namespace config
+} // namespace procoup
+
+#endif // PROCOUP_CONFIG_PARSE_HH

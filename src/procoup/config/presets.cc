@@ -1,0 +1,108 @@
+#include "procoup/config/presets.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace config {
+
+namespace {
+
+ClusterConfig
+arithCluster()
+{
+    ClusterConfig c;
+    c.units = {
+        {isa::UnitType::Integer, 1},
+        {isa::UnitType::Float, 1},
+        {isa::UnitType::Memory, 1},
+    };
+    return c;
+}
+
+ClusterConfig
+branchCluster()
+{
+    ClusterConfig c;
+    c.units = {{isa::UnitType::Branch, 1}};
+    return c;
+}
+
+} // namespace
+
+MachineConfig
+baseline()
+{
+    MachineConfig m;
+    m.name = "baseline";
+    for (int i = 0; i < 4; ++i)
+        m.clusters.push_back(arithCluster());
+    for (int i = 0; i < 2; ++i)
+        m.clusters.push_back(branchCluster());
+    m.interconnect = InterconnectScheme::Full;
+    m.memory = MemoryConfig{};     // 1-cycle references, no misses
+    return m;
+}
+
+MachineConfig
+withInterconnect(MachineConfig m, InterconnectScheme s)
+{
+    m.interconnect = s;
+    m.name += strCat("-", interconnectSchemeName(s));
+    return m;
+}
+
+MachineConfig
+withMemMin(MachineConfig m)
+{
+    m.memory.hitLatency = 1;
+    m.memory.missRate = 0.0;
+    m.name += "-Min";
+    return m;
+}
+
+MachineConfig
+withMem1(MachineConfig m)
+{
+    m.memory.hitLatency = 1;
+    m.memory.missRate = 0.05;
+    m.memory.missPenaltyMin = 20;
+    m.memory.missPenaltyMax = 100;
+    m.name += "-Mem1";
+    return m;
+}
+
+MachineConfig
+withMem2(MachineConfig m)
+{
+    m = withMem1(std::move(m));
+    m.memory.missRate = 0.10;
+    m.name.replace(m.name.size() - 4, 4, "Mem2");
+    return m;
+}
+
+MachineConfig
+fuMix(int num_iu, int num_fpu)
+{
+    PROCOUP_ASSERT(num_iu >= 1 && num_iu <= 4, "IU count out of range");
+    PROCOUP_ASSERT(num_fpu >= 1 && num_fpu <= 4, "FPU count out of range");
+
+    MachineConfig m;
+    m.name = strCat("mix-", num_iu, "iu-", num_fpu, "fpu");
+    for (int j = 0; j < 4; ++j) {
+        ClusterConfig c;
+        if (j < num_iu)
+            c.units.push_back({isa::UnitType::Integer, 1});
+        if (j < num_fpu)
+            c.units.push_back({isa::UnitType::Float, 1});
+        c.units.push_back({isa::UnitType::Memory, 1});
+        m.clusters.push_back(c);
+    }
+    ClusterConfig br;
+    br.units = {{isa::UnitType::Branch, 1}};
+    m.clusters.push_back(br);
+    return m;
+}
+
+} // namespace config
+} // namespace procoup

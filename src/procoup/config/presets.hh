@@ -1,0 +1,48 @@
+#ifndef PROCOUP_CONFIG_PRESETS_HH
+#define PROCOUP_CONFIG_PRESETS_HH
+
+/**
+ * @file
+ * The machine configurations simulated in the paper's evaluation.
+ */
+
+#include "procoup/config/machine.hh"
+
+namespace procoup {
+namespace config {
+
+/**
+ * The baseline machine of Section 4: "four arithmetic clusters and two
+ * branch clusters. Each arithmetic cluster contains an integer unit, a
+ * floating point unit, a memory unit, and a shared register file, while
+ * a branch cluster contains only a branch unit and a register file."
+ * All units have a pipeline latency of one cycle; memory references
+ * take a single cycle; interconnect is fully connected.
+ */
+MachineConfig baseline();
+
+/** Replace the interconnect scheme (Figure 6 sweeps these). */
+MachineConfig withInterconnect(MachineConfig m, InterconnectScheme s);
+
+/** Min memory model: single-cycle latency for all references. */
+MachineConfig withMemMin(MachineConfig m);
+
+/** Mem1: 1-cycle hit, 5% miss rate, penalty uniform in [20, 100]. */
+MachineConfig withMem1(MachineConfig m);
+
+/** Mem2: like Mem1 with a 10% miss rate. */
+MachineConfig withMem2(MachineConfig m);
+
+/**
+ * Function-unit mix machine for Figure 8: @p num_iu integer units and
+ * @p num_fpu floating point units spread over four arithmetic clusters
+ * (cluster j gets an IU iff j < num_iu, an FPU iff j < num_fpu), with
+ * the number of memory units "constant at four" and "a single branch
+ * unit".
+ */
+MachineConfig fuMix(int num_iu, int num_fpu);
+
+} // namespace config
+} // namespace procoup
+
+#endif // PROCOUP_CONFIG_PRESETS_HH

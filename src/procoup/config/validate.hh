@@ -1,0 +1,34 @@
+#ifndef PROCOUP_CONFIG_VALIDATE_HH
+#define PROCOUP_CONFIG_VALIDATE_HH
+
+/**
+ * @file
+ * Static well-formedness checks of a compiled program against a machine
+ * description. Run by the compiler after scheduling and by tests on
+ * hand-built programs; violations indicate compiler bugs or malformed
+ * hand assembly and throw CompileError.
+ */
+
+#include "procoup/config/machine.hh"
+#include "procoup/isa/program.hh"
+
+namespace procoup {
+namespace config {
+
+/**
+ * Check that @p prog is executable on @p machine:
+ *  - every slot's function unit exists and matches the opcode's class;
+ *  - at most one operation per function unit per instruction;
+ *  - source registers live in the issuing unit's own cluster;
+ *  - destination counts respect Operation::maxDests;
+ *  - register indices are within the thread's declared frame sizes;
+ *  - branch targets, fork targets, and memory image addresses in range.
+ *
+ * @throws CompileError describing the first violation.
+ */
+void validateProgram(const isa::Program& prog, const MachineConfig& machine);
+
+} // namespace config
+} // namespace procoup
+
+#endif // PROCOUP_CONFIG_VALIDATE_HH

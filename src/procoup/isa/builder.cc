@@ -1,0 +1,251 @@
+#include "procoup/isa/builder.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace isa {
+
+namespace op {
+
+Operand
+reg(RegRef r)
+{
+    return Operand::makeReg(r);
+}
+
+Operand
+imm(std::int64_t v)
+{
+    return Operand::makeIntImm(v);
+}
+
+Operand
+fimm(double v)
+{
+    return Operand::makeFloatImm(v);
+}
+
+Operation
+alu(Opcode opc, RegRef dst, Operand a)
+{
+    PROCOUP_ASSERT(opcodeNumSources(opc) == 1,
+                   strCat(opcodeName(opc), " is not unary"));
+    Operation o;
+    o.opcode = opc;
+    o.srcs = {a};
+    o.dsts = {dst};
+    return o;
+}
+
+Operation
+alu(Opcode opc, RegRef dst, Operand a, Operand b)
+{
+    PROCOUP_ASSERT(opcodeNumSources(opc) == 2,
+                   strCat(opcodeName(opc), " is not binary"));
+    Operation o;
+    o.opcode = opc;
+    o.srcs = {a, b};
+    o.dsts = {dst};
+    return o;
+}
+
+Operation
+alu2(Opcode opc, RegRef dst0, RegRef dst1, Operand a, Operand b)
+{
+    Operation o = alu(opc, dst0, a, b);
+    o.dsts.push_back(dst1);
+    return o;
+}
+
+Operation
+mov(RegRef dst, Operand src)
+{
+    return alu(Opcode::MOV, dst, src);
+}
+
+Operation
+mov2(RegRef dst0, RegRef dst1, Operand src)
+{
+    Operation o = mov(dst0, src);
+    o.dsts.push_back(dst1);
+    return o;
+}
+
+Operation
+ld(RegRef dst, Operand base, Operand offset, MemFlavor f)
+{
+    Operation o;
+    o.opcode = Opcode::LD;
+    o.srcs = {base, offset};
+    o.dsts = {dst};
+    o.flavor = f;
+    return o;
+}
+
+Operation
+st(Operand base, Operand offset, Operand value, MemFlavor f)
+{
+    Operation o;
+    o.opcode = Opcode::ST;
+    o.srcs = {base, offset, value};
+    o.flavor = f;
+    return o;
+}
+
+Operation
+br(std::uint32_t target)
+{
+    Operation o;
+    o.opcode = Opcode::BR;
+    o.branchTarget = target;
+    return o;
+}
+
+Operation
+bt(Operand cond, std::uint32_t target)
+{
+    Operation o;
+    o.opcode = Opcode::BT;
+    o.srcs = {cond};
+    o.branchTarget = target;
+    return o;
+}
+
+Operation
+bf(Operand cond, std::uint32_t target)
+{
+    Operation o;
+    o.opcode = Opcode::BF;
+    o.srcs = {cond};
+    o.branchTarget = target;
+    return o;
+}
+
+Operation
+fork(std::uint32_t fn, std::vector<Operand> args)
+{
+    Operation o;
+    o.opcode = Opcode::FORK;
+    o.forkTarget = fn;
+    o.srcs = std::move(args);
+    return o;
+}
+
+Operation
+ethr()
+{
+    Operation o;
+    o.opcode = Opcode::ETHR;
+    return o;
+}
+
+Operation
+mark(std::int64_t id)
+{
+    Operation o;
+    o.opcode = Opcode::MARK;
+    o.markId = id;
+    return o;
+}
+
+} // namespace op
+
+ThreadCode&
+ThreadBuilder::code()
+{
+    return pb->prog.threads[index];
+}
+
+const ThreadCode&
+ThreadBuilder::code() const
+{
+    return pb->prog.threads[index];
+}
+
+std::uint32_t
+ThreadBuilder::row()
+{
+    code().instructions.emplace_back();
+    return static_cast<std::uint32_t>(code().instructions.size() - 1);
+}
+
+ThreadBuilder&
+ThreadBuilder::add(int fu, Operation op)
+{
+    PROCOUP_ASSERT(!code().instructions.empty(), "add before row()");
+    OpSlot slot;
+    slot.fu = static_cast<std::uint16_t>(fu);
+    slot.op = std::move(op);
+    code().instructions.back().slots.push_back(std::move(slot));
+    return *this;
+}
+
+std::uint32_t
+ThreadBuilder::rowOp(int fu, Operation op)
+{
+    const std::uint32_t r = row();
+    add(fu, std::move(op));
+    return r;
+}
+
+std::uint32_t
+ThreadBuilder::nextRow() const
+{
+    return static_cast<std::uint32_t>(code().instructions.size());
+}
+
+ThreadBuilder&
+ThreadBuilder::params(std::vector<RegRef> homes)
+{
+    code().paramHomes = std::move(homes);
+    return *this;
+}
+
+ProgramBuilder::ProgramBuilder(std::size_t num_clusters)
+    : numClusters(num_clusters)
+{}
+
+ThreadBuilder
+ProgramBuilder::thread(const std::string& name,
+                       std::vector<std::uint32_t> reg_count)
+{
+    reg_count.resize(numClusters, 0);
+    ThreadCode code;
+    code.name = name;
+    code.regCount = std::move(reg_count);
+    prog.threads.push_back(std::move(code));
+    return ThreadBuilder(this, prog.threads.size() - 1);
+}
+
+std::uint32_t
+ProgramBuilder::nextThreadIndex() const
+{
+    return static_cast<std::uint32_t>(prog.threads.size());
+}
+
+std::uint32_t
+ProgramBuilder::data(const std::string& name, std::uint32_t size)
+{
+    const std::uint32_t base = prog.memorySize;
+    prog.symbols[name] = Symbol{base, size};
+    prog.memorySize += size;
+    return base;
+}
+
+ProgramBuilder&
+ProgramBuilder::init(std::uint32_t addr, Value v, bool full)
+{
+    prog.memInits.push_back(MemInit{addr, v, full});
+    return *this;
+}
+
+Program
+ProgramBuilder::finish(std::uint32_t entry)
+{
+    prog.entry = entry;
+    return std::move(prog);
+}
+
+} // namespace isa
+} // namespace procoup

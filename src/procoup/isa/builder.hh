@@ -1,0 +1,139 @@
+#ifndef PROCOUP_ISA_BUILDER_HH
+#define PROCOUP_ISA_BUILDER_HH
+
+/**
+ * @file
+ * Programmatic assembler for hand-written programs.
+ *
+ * Used by tests and examples to build small Programs without going
+ * through the compiler, e.g.:
+ *
+ * @code
+ * ProgramBuilder pb(machine.clusters.size());
+ * ThreadBuilder& t = pb.thread("main", {4, 0, 0, 0, 0, 0});
+ * t.row();
+ * t.add(0, op::iadd({0, 2}, op::imm(1), op::imm(2)));
+ * t.row();
+ * t.add(12, op::ethr());
+ * isa::Program p = pb.finish(0);
+ * @endcode
+ */
+
+#include <string>
+#include <vector>
+
+#include "procoup/isa/program.hh"
+
+namespace procoup {
+namespace isa {
+
+/** Convenience constructors for operations. */
+namespace op {
+
+/** Register source operand. */
+Operand reg(RegRef r);
+
+/** Integer immediate operand. */
+Operand imm(std::int64_t v);
+
+/** Float immediate operand. */
+Operand fimm(double v);
+
+/** Generic ALU operation (unary or binary, by opcode arity). */
+Operation alu(Opcode opc, RegRef dst, Operand a);
+Operation alu(Opcode opc, RegRef dst, Operand a, Operand b);
+
+/** ALU operation with two destinations (broadcast). */
+Operation alu2(Opcode opc, RegRef dst0, RegRef dst1, Operand a, Operand b);
+
+/** mov/fmov with a second optional destination. */
+Operation mov(RegRef dst, Operand src);
+Operation mov2(RegRef dst0, RegRef dst1, Operand src);
+
+Operation ld(RegRef dst, Operand base, Operand offset,
+             MemFlavor f = MemFlavor::plainLoad());
+Operation st(Operand base, Operand offset, Operand value,
+             MemFlavor f = MemFlavor::plainStore());
+
+Operation br(std::uint32_t target);
+Operation bt(Operand cond, std::uint32_t target);
+Operation bf(Operand cond, std::uint32_t target);
+Operation fork(std::uint32_t fn, std::vector<Operand> args = {});
+Operation ethr();
+Operation mark(std::int64_t id);
+
+} // namespace op
+
+class ProgramBuilder;
+
+/** Builds the instruction rows of one thread function. */
+class ThreadBuilder
+{
+  public:
+    /** Start a new (initially empty) instruction row.
+     *  @return the row index, usable as a branch target. */
+    std::uint32_t row();
+
+    /** Add an operation to the current row on function unit @p fu. */
+    ThreadBuilder& add(int fu, Operation op);
+
+    /** Shorthand: new row containing a single operation. */
+    std::uint32_t rowOp(int fu, Operation op);
+
+    /** Index the next row() call will return (forward branch targets). */
+    std::uint32_t nextRow() const;
+
+    /** Declare parameter landing registers (FORK argument order). */
+    ThreadBuilder& params(std::vector<RegRef> homes);
+
+  private:
+    friend class ProgramBuilder;
+    ThreadBuilder(ProgramBuilder* pb, std::size_t index)
+        : pb(pb), index(index)
+    {}
+
+    ThreadCode& code();
+    const ThreadCode& code() const;
+
+    /** Stable across further thread() calls on the same builder. */
+    ProgramBuilder* pb;
+    std::size_t index;
+};
+
+/** Accumulates thread functions and a data segment into a Program. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::size_t num_clusters);
+
+    /**
+     * Begin a new thread function.
+     * @param reg_count register frame size per cluster; padded with
+     *        zeros if shorter than the cluster count
+     */
+    ThreadBuilder thread(const std::string& name,
+                         std::vector<std::uint32_t> reg_count);
+
+    /** Index the next thread() call will produce (for FORK targets). */
+    std::uint32_t nextThreadIndex() const;
+
+    /** Reserve @p size words of memory under @p name; returns base. */
+    std::uint32_t data(const std::string& name, std::uint32_t size);
+
+    /** Initialize one word of the image. */
+    ProgramBuilder& init(std::uint32_t addr, Value v, bool full = true);
+
+    /** Finish, setting the entry thread. */
+    Program finish(std::uint32_t entry);
+
+  private:
+    friend class ThreadBuilder;
+
+    Program prog;
+    std::size_t numClusters;
+};
+
+} // namespace isa
+} // namespace procoup
+
+#endif // PROCOUP_ISA_BUILDER_HH

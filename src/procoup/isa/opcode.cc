@@ -1,0 +1,176 @@
+#include "procoup/isa/opcode.hh"
+
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace isa {
+
+std::string
+unitTypeName(UnitType t)
+{
+    switch (t) {
+      case UnitType::Integer: return "IU";
+      case UnitType::Float:   return "FPU";
+      case UnitType::Memory:  return "MEM";
+      case UnitType::Branch:  return "BR";
+    }
+    PROCOUP_PANIC("bad UnitType");
+}
+
+UnitType
+unitTypeOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::IADD: case Opcode::ISUB: case Opcode::IMUL:
+      case Opcode::IDIV: case Opcode::IMOD: case Opcode::INEG:
+      case Opcode::IAND: case Opcode::IOR:  case Opcode::IXOR:
+      case Opcode::INOT: case Opcode::ISHL: case Opcode::ISHR:
+      case Opcode::ILT:  case Opcode::ILE:  case Opcode::IEQ:
+      case Opcode::INE:  case Opcode::IGT:  case Opcode::IGE:
+      case Opcode::MOV:  case Opcode::MARK: case Opcode::NOP:
+        return UnitType::Integer;
+
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FNEG: case Opcode::ITOF:
+      case Opcode::FTOI: case Opcode::FLT:  case Opcode::FLE:
+      case Opcode::FEQ:  case Opcode::FNE:  case Opcode::FGT:
+      case Opcode::FGE:  case Opcode::FMOV:
+        return UnitType::Float;
+
+      case Opcode::LD: case Opcode::ST:
+        return UnitType::Memory;
+
+      case Opcode::BR: case Opcode::BT: case Opcode::BF:
+      case Opcode::FORK: case Opcode::ETHR:
+        return UnitType::Branch;
+    }
+    PROCOUP_PANIC("bad Opcode");
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IADD: return "iadd";
+      case Opcode::ISUB: return "isub";
+      case Opcode::IMUL: return "imul";
+      case Opcode::IDIV: return "idiv";
+      case Opcode::IMOD: return "imod";
+      case Opcode::INEG: return "ineg";
+      case Opcode::IAND: return "iand";
+      case Opcode::IOR:  return "ior";
+      case Opcode::IXOR: return "ixor";
+      case Opcode::INOT: return "inot";
+      case Opcode::ISHL: return "ishl";
+      case Opcode::ISHR: return "ishr";
+      case Opcode::ILT:  return "ilt";
+      case Opcode::ILE:  return "ile";
+      case Opcode::IEQ:  return "ieq";
+      case Opcode::INE:  return "ine";
+      case Opcode::IGT:  return "igt";
+      case Opcode::IGE:  return "ige";
+      case Opcode::MOV:  return "mov";
+      case Opcode::MARK: return "mark";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FNEG: return "fneg";
+      case Opcode::ITOF: return "itof";
+      case Opcode::FTOI: return "ftoi";
+      case Opcode::FLT:  return "flt";
+      case Opcode::FLE:  return "fle";
+      case Opcode::FEQ:  return "feq";
+      case Opcode::FNE:  return "fne";
+      case Opcode::FGT:  return "fgt";
+      case Opcode::FGE:  return "fge";
+      case Opcode::FMOV: return "fmov";
+      case Opcode::LD:   return "ld";
+      case Opcode::ST:   return "st";
+      case Opcode::BR:   return "br";
+      case Opcode::BT:   return "bt";
+      case Opcode::BF:   return "bf";
+      case Opcode::FORK: return "fork";
+      case Opcode::ETHR: return "ethr";
+      case Opcode::NOP:  return "nop";
+    }
+    PROCOUP_PANIC("bad Opcode");
+}
+
+int
+opcodeNumSources(Opcode op)
+{
+    switch (op) {
+      case Opcode::IADD: case Opcode::ISUB: case Opcode::IMUL:
+      case Opcode::IDIV: case Opcode::IMOD:
+      case Opcode::IAND: case Opcode::IOR:  case Opcode::IXOR:
+      case Opcode::ISHL: case Opcode::ISHR:
+      case Opcode::ILT:  case Opcode::ILE:  case Opcode::IEQ:
+      case Opcode::INE:  case Opcode::IGT:  case Opcode::IGE:
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FLT:  case Opcode::FLE:  case Opcode::FEQ:
+      case Opcode::FNE:  case Opcode::FGT:  case Opcode::FGE:
+      case Opcode::LD:   // base + offset
+        return 2;
+
+      case Opcode::INEG: case Opcode::INOT: case Opcode::FNEG:
+      case Opcode::ITOF: case Opcode::FTOI:
+      case Opcode::MOV:  case Opcode::FMOV:
+      case Opcode::BT:   case Opcode::BF:
+        return 1;
+
+      case Opcode::ST:   // base + offset + value
+        return 3;
+
+      case Opcode::MARK: case Opcode::BR: case Opcode::ETHR:
+      case Opcode::NOP:
+        return 0;
+
+      case Opcode::FORK: // up to 3 argument operands; variable
+        return -1;
+    }
+    PROCOUP_PANIC("bad Opcode");
+}
+
+bool
+opcodeWritesRegister(Opcode op)
+{
+    switch (op) {
+      case Opcode::ST: case Opcode::BR: case Opcode::BT: case Opcode::BF:
+      case Opcode::FORK: case Opcode::ETHR: case Opcode::MARK:
+      case Opcode::NOP:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+opcodeIsBranch(Opcode op)
+{
+    return op == Opcode::BR || op == Opcode::BT || op == Opcode::BF;
+}
+
+bool
+opcodeIsMemory(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::ST;
+}
+
+bool
+opcodeIsCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::ILT: case Opcode::ILE: case Opcode::IEQ:
+      case Opcode::INE: case Opcode::IGT: case Opcode::IGE:
+      case Opcode::FLT: case Opcode::FLE: case Opcode::FEQ:
+      case Opcode::FNE: case Opcode::FGT: case Opcode::FGE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace isa
+} // namespace procoup

@@ -1,0 +1,89 @@
+#ifndef PROCOUP_ISA_OPCODE_HH
+#define PROCOUP_ISA_OPCODE_HH
+
+/**
+ * @file
+ * Operation set of the processor-coupled node.
+ *
+ * Every opcode executes on exactly one class of function unit (integer,
+ * floating point, memory, or branch), mirroring the paper's machine in
+ * which "a function unit may perform integer operations, floating point
+ * operations, branch operations, or memory accesses".
+ */
+
+#include <string>
+
+namespace procoup {
+namespace isa {
+
+/** The four function-unit classes of Section 2 of the paper. */
+enum class UnitType
+{
+    Integer,
+    Float,
+    Memory,
+    Branch,
+};
+
+/** Number of UnitType enumerators (for stat arrays). */
+constexpr int numUnitTypes = 4;
+
+/** Short display name: IU / FPU / MEM / BR. */
+std::string unitTypeName(UnitType t);
+
+/** All operations the node can execute. */
+enum class Opcode
+{
+    // Integer unit -------------------------------------------------
+    IADD, ISUB, IMUL, IDIV, IMOD, INEG,
+    IAND, IOR, IXOR, INOT,
+    ISHL, ISHR,
+    ILT, ILE, IEQ, INE, IGT, IGE,
+    MOV,    ///< copy a word (any tag) between registers / load immediate
+    MARK,   ///< record (thread, id, cycle) in the statistics stream
+
+    // Floating point unit ------------------------------------------
+    FADD, FSUB, FMUL, FDIV, FNEG,
+    ITOF, FTOI,
+    FLT, FLE, FEQ, FNE, FGT, FGE,
+    FMOV,   ///< copy, executed on the FPU (scheduler's alternative mover)
+
+    // Memory unit ---------------------------------------------------
+    LD,     ///< rd = mem[base + offset]; flavored by MemFlavor
+    ST,     ///< mem[base + offset] = src; flavored by MemFlavor
+
+    // Branch unit ---------------------------------------------------
+    BR,     ///< unconditional branch to an instruction index
+    BT,     ///< branch if source is nonzero
+    BF,     ///< branch if source is zero
+    FORK,   ///< spawn a new thread running another thread function
+    ETHR,   ///< end the current thread
+
+    NOP,
+};
+
+/** The unit class an opcode executes on. */
+UnitType unitTypeOf(Opcode op);
+
+/** Mnemonic, lowercase (e.g. "iadd"). */
+std::string opcodeName(Opcode op);
+
+/** Number of register/immediate source operands the opcode consumes. */
+int opcodeNumSources(Opcode op);
+
+/** True if the opcode produces a register result. */
+bool opcodeWritesRegister(Opcode op);
+
+/** True for BR/BT/BF (has an instruction-index target). */
+bool opcodeIsBranch(Opcode op);
+
+/** True for LD/ST. */
+bool opcodeIsMemory(Opcode op);
+
+/** True for the integer and float compare opcodes (result is int 0/1). */
+bool opcodeIsCompare(Opcode op);
+
+} // namespace isa
+} // namespace procoup
+
+#endif // PROCOUP_ISA_OPCODE_HH

@@ -1,0 +1,114 @@
+#include "procoup/isa/operation.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace isa {
+
+std::string
+RegRef::toString() const
+{
+    return strCat("c", cluster, ".r", index);
+}
+
+Operand
+Operand::makeReg(RegRef r)
+{
+    Operand o;
+    o._kind = Kind::Reg;
+    o._reg = r;
+    return o;
+}
+
+Operand
+Operand::makeImm(Value v)
+{
+    Operand o;
+    o._kind = Kind::Imm;
+    o._imm = v;
+    return o;
+}
+
+Operand
+Operand::makeIntImm(std::int64_t v)
+{
+    return makeImm(Value::makeInt(v));
+}
+
+Operand
+Operand::makeFloatImm(double v)
+{
+    return makeImm(Value::makeFloat(v));
+}
+
+const RegRef&
+Operand::reg() const
+{
+    PROCOUP_ASSERT(_kind == Kind::Reg, "operand is not a register");
+    return _reg;
+}
+
+const Value&
+Operand::imm() const
+{
+    PROCOUP_ASSERT(_kind == Kind::Imm, "operand is not an immediate");
+    return _imm;
+}
+
+std::string
+Operand::toString() const
+{
+    switch (_kind) {
+      case Kind::None: return "<none>";
+      case Kind::Reg:  return _reg.toString();
+      case Kind::Imm:  return strCat("#", _imm.toString());
+    }
+    PROCOUP_PANIC("bad operand kind");
+}
+
+std::string
+MemFlavor::toString() const
+{
+    std::string p;
+    switch (pre) {
+      case MemPre::None:  p = "-"; break;
+      case MemPre::Full:  p = "wf"; break;
+      case MemPre::Empty: p = "we"; break;
+    }
+    switch (post) {
+      case MemPost::Leave:    return p + "/-";
+      case MemPost::SetFull:  return p + "/sf";
+      case MemPost::SetEmpty: return p + "/se";
+    }
+    PROCOUP_PANIC("bad MemPost");
+}
+
+std::string
+Operation::toString() const
+{
+    std::string s = opcodeName(opcode);
+    if (opcodeIsMemory(opcode))
+        s += strCat(".", flavor.toString());
+    bool first = true;
+    for (const auto& d : dsts) {
+        s += first ? " " : ", ";
+        s += d.toString();
+        first = false;
+    }
+    for (const auto& src : srcs) {
+        s += first ? " " : ", ";
+        s += src.toString();
+        first = false;
+    }
+    if (opcodeIsBranch(opcode))
+        s += strCat(" @", branchTarget);
+    if (opcode == Opcode::FORK)
+        s += strCat(" fn", forkTarget);
+    if (opcode == Opcode::MARK)
+        s += strCat(" m", markId);
+    return s;
+}
+
+} // namespace isa
+} // namespace procoup

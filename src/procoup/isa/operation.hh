@@ -1,0 +1,143 @@
+#ifndef PROCOUP_ISA_OPERATION_HH
+#define PROCOUP_ISA_OPERATION_HH
+
+/**
+ * @file
+ * A single operation slot of a wide instruction.
+ *
+ * Register addressing follows the paper's cluster model: a function unit
+ * reads its sources from the register file of its own cluster and may
+ * write results "directly in each other's register files" — up to two
+ * destination registers per operation in the baseline machine.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "procoup/isa/opcode.hh"
+#include "procoup/isa/value.hh"
+
+namespace procoup {
+namespace isa {
+
+/** Names one register inside one cluster of a thread's register set. */
+struct RegRef
+{
+    std::uint16_t cluster = 0;
+    std::uint16_t index = 0;
+
+    bool operator==(const RegRef& o) const
+    {
+        return cluster == o.cluster && index == o.index;
+    }
+
+    std::string toString() const;
+};
+
+/** A source operand: a register in the issuing unit's cluster, or an
+ *  immediate constant. */
+class Operand
+{
+  public:
+    enum class Kind { None, Reg, Imm };
+
+    Operand() : _kind(Kind::None) {}
+
+    static Operand makeReg(RegRef r);
+    static Operand makeImm(Value v);
+    static Operand makeIntImm(std::int64_t v);
+    static Operand makeFloatImm(double v);
+
+    Kind kind() const { return _kind; }
+    bool isReg() const { return _kind == Kind::Reg; }
+    bool isImm() const { return _kind == Kind::Imm; }
+
+    const RegRef& reg() const;
+    const Value& imm() const;
+
+    std::string toString() const;
+
+  private:
+    Kind _kind;
+    RegRef _reg;
+    Value _imm;
+};
+
+/** Synchronizing precondition of a memory reference (Table 1). */
+enum class MemPre
+{
+    None,       ///< unconditional
+    Full,       ///< wait until full
+    Empty,      ///< wait until empty
+};
+
+/** Effect of a completed memory reference on the presence bit (Table 1). */
+enum class MemPost
+{
+    Leave,      ///< leave as is
+    SetFull,
+    SetEmpty,
+};
+
+/** Presence-bit behaviour of one load or store. */
+struct MemFlavor
+{
+    MemPre pre = MemPre::None;
+    MemPost post = MemPost::Leave;
+
+    bool operator==(const MemFlavor& o) const
+    {
+        return pre == o.pre && post == o.post;
+    }
+
+    std::string toString() const;
+
+    /** The six flavors of Table 1. */
+    static MemFlavor plainLoad()    { return {MemPre::None, MemPost::Leave}; }
+    static MemFlavor waitLoad()     { return {MemPre::Full, MemPost::Leave}; }
+    static MemFlavor consumeLoad()  { return {MemPre::Full, MemPost::SetEmpty}; }
+    static MemFlavor plainStore()   { return {MemPre::None, MemPost::SetFull}; }
+    static MemFlavor updateStore()  { return {MemPre::Full, MemPost::Leave}; }
+    static MemFlavor produceStore() { return {MemPre::Empty, MemPost::SetFull}; }
+};
+
+/**
+ * One operation. Sources are read from the register file of the cluster
+ * whose function unit executes the operation; destinations may name any
+ * cluster (remote writes traverse the unit interconnection network).
+ */
+struct Operation
+{
+    Opcode opcode = Opcode::NOP;
+
+    /** Source operands (count per opcodeNumSources; FORK: 0..3 args). */
+    std::vector<Operand> srcs;
+
+    /** Destination registers; at most maxDests. */
+    std::vector<RegRef> dsts;
+
+    /** LD/ST presence-bit behaviour. */
+    MemFlavor flavor;
+
+    /** BR/BT/BF: target instruction index within the thread's code. */
+    std::uint32_t branchTarget = 0;
+
+    /** FORK: index of the spawned thread function in the Program. */
+    std::uint32_t forkTarget = 0;
+
+    /** MARK: identifier recorded with the cycle number. */
+    std::int64_t markId = 0;
+
+    /** Baseline machine limit on simultaneous register destinations. */
+    static constexpr int maxDests = 2;
+
+    UnitType unitType() const { return unitTypeOf(opcode); }
+
+    std::string toString() const;
+};
+
+} // namespace isa
+} // namespace procoup
+
+#endif // PROCOUP_ISA_OPERATION_HH

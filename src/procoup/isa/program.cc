@@ -1,0 +1,70 @@
+#include "procoup/isa/program.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace isa {
+
+bool
+Instruction::hasBranch() const
+{
+    for (const auto& slot : slots)
+        if (opcodeIsBranch(slot.op.opcode))
+            return true;
+    return false;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::string s = "{";
+    bool first = true;
+    for (const auto& slot : slots) {
+        if (!first)
+            s += " | ";
+        s += strCat("fu", slot.fu, ": ", slot.op.toString());
+        first = false;
+    }
+    return s + "}";
+}
+
+std::string
+ThreadCode::toString() const
+{
+    std::string s = strCat("thread ", name, ":\n");
+    for (std::size_t i = 0; i < instructions.size(); ++i)
+        s += strCat("  ", i, ": ", instructions[i].toString(), "\n");
+    return s;
+}
+
+const Symbol&
+Program::symbol(const std::string& name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        throw CompileError(strCat("unknown symbol: ", name));
+    return it->second;
+}
+
+std::size_t
+Program::staticOperationCount() const
+{
+    std::size_t n = 0;
+    for (const auto& t : threads)
+        for (const auto& inst : t.instructions)
+            n += inst.slots.size();
+    return n;
+}
+
+std::string
+Program::toString() const
+{
+    std::string s;
+    for (const auto& t : threads)
+        s += t.toString();
+    return s;
+}
+
+} // namespace isa
+} // namespace procoup

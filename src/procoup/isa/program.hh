@@ -1,0 +1,106 @@
+#ifndef PROCOUP_ISA_PROGRAM_HH
+#define PROCOUP_ISA_PROGRAM_HH
+
+/**
+ * @file
+ * Compiled program representation.
+ *
+ * A thread's code is "a sparse matrix of operations" (paper, Section 2):
+ * each row is a wide instruction, each column a particular function
+ * unit. We store rows sparsely as (function unit, operation) slots.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "procoup/isa/operation.hh"
+
+namespace procoup {
+namespace isa {
+
+/** One operation slot of a wide instruction, bound to a function unit. */
+struct OpSlot
+{
+    /** Global function-unit index (machine enumeration order). */
+    std::uint16_t fu = 0;
+
+    Operation op;
+};
+
+/** One wide instruction: at most one operation per function unit. */
+struct Instruction
+{
+    std::vector<OpSlot> slots;
+
+    bool empty() const { return slots.empty(); }
+
+    /** True if any slot holds a branch-unit control transfer. */
+    bool hasBranch() const;
+
+    std::string toString() const;
+};
+
+/**
+ * The compiled code of one thread function: the instruction rows plus
+ * the metadata the runtime needs to spawn it (parameter landing
+ * registers and per-cluster register frame sizes).
+ */
+struct ThreadCode
+{
+    std::string name;
+
+    std::vector<Instruction> instructions;
+
+    /** Where FORK arguments are written in the child's register set. */
+    std::vector<RegRef> paramHomes;
+
+    /** Register frame size needed in each cluster (index = cluster). */
+    std::vector<std::uint32_t> regCount;
+
+    std::string toString() const;
+};
+
+/** An initialized memory word in the program's load image. */
+struct MemInit
+{
+    std::uint32_t addr = 0;
+    Value value;
+    bool full = true;
+};
+
+/** Named range of the data segment (for result readback by harnesses). */
+struct Symbol
+{
+    std::uint32_t base = 0;
+    std::uint32_t size = 0;
+};
+
+/**
+ * A complete program: thread functions, the entry thread, and the data
+ * segment layout. Memory defaults to full words holding integer zero;
+ * MemInit entries override (synchronization cells start empty).
+ */
+struct Program
+{
+    std::vector<ThreadCode> threads;
+    std::uint32_t entry = 0;
+
+    std::uint32_t memorySize = 0;
+    std::vector<MemInit> memInits;
+    std::map<std::string, Symbol> symbols;
+
+    /** Lookup a data symbol. @throws CompileError if missing. */
+    const Symbol& symbol(const std::string& name) const;
+
+    /** Total number of operations across all threads (static count). */
+    std::size_t staticOperationCount() const;
+
+    std::string toString() const;
+};
+
+} // namespace isa
+} // namespace procoup
+
+#endif // PROCOUP_ISA_PROGRAM_HH

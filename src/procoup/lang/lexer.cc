@@ -1,0 +1,141 @@
+#include "procoup/lang/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace lang {
+
+namespace {
+
+bool
+isSymbolChar(char c)
+{
+    if (std::isalnum(static_cast<unsigned char>(c)))
+        return true;
+    switch (c) {
+      case '+': case '-': case '*': case '/': case '%': case '<':
+      case '>': case '=': case '!': case '_': case '?': case ':':
+      case '.':
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string& source)
+{
+    std::vector<Token> out;
+    int line = 1;
+    int col = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto advance = [&](std::size_t count = 1) {
+        for (std::size_t k = 0; k < count && i < n; ++k) {
+            if (source[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+            ++i;
+        }
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        if (c == ';') {
+            while (i < n && source[i] != '\n')
+                advance();
+            continue;
+        }
+
+        Token t;
+        t.loc = SourceLoc{line, col};
+        if (c == '(') {
+            t.kind = Token::Kind::LParen;
+            advance();
+            out.push_back(t);
+            continue;
+        }
+        if (c == ')') {
+            t.kind = Token::Kind::RParen;
+            advance();
+            out.push_back(t);
+            continue;
+        }
+
+        // Numeric literal: digit, or '-'/'.' followed by a digit.
+        const bool starts_number =
+            std::isdigit(static_cast<unsigned char>(c)) ||
+            ((c == '-' || c == '.') && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])));
+        if (starts_number) {
+            std::size_t j = i;
+            bool is_float = false;
+            if (source[j] == '-')
+                ++j;
+            while (j < n &&
+                   (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                    source[j] == '.' || source[j] == 'e' ||
+                    source[j] == 'E' ||
+                    ((source[j] == '+' || source[j] == '-') && j > i &&
+                     (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+                if (source[j] == '.' || source[j] == 'e' ||
+                        source[j] == 'E')
+                    is_float = true;
+                ++j;
+            }
+            const std::string text = source.substr(i, j - i);
+            char* end = nullptr;
+            if (is_float) {
+                t.kind = Token::Kind::Float;
+                t.fval = std::strtod(text.c_str(), &end);
+            } else {
+                t.kind = Token::Kind::Int;
+                t.ival = std::strtoll(text.c_str(), &end, 10);
+            }
+            if (end == nullptr || *end != '\0')
+                throw CompileError(strCat("malformed number '", text,
+                                          "' at ", t.loc.toString()));
+            t.text = text;
+            advance(j - i);
+            out.push_back(t);
+            continue;
+        }
+
+        if (isSymbolChar(c)) {
+            std::size_t j = i;
+            while (j < n && isSymbolChar(source[j]))
+                ++j;
+            t.kind = Token::Kind::Symbol;
+            t.text = source.substr(i, j - i);
+            advance(j - i);
+            out.push_back(t);
+            continue;
+        }
+
+        throw CompileError(strCat("unexpected character '", c, "' at ",
+                                  t.loc.toString()));
+    }
+
+    Token end;
+    end.kind = Token::Kind::End;
+    end.loc = SourceLoc{line, col};
+    out.push_back(end);
+    return out;
+}
+
+} // namespace lang
+} // namespace procoup

@@ -1,0 +1,38 @@
+#ifndef PROCOUP_LANG_LEXER_HH
+#define PROCOUP_LANG_LEXER_HH
+
+/**
+ * @file
+ * Tokenizer for PCL source text. Tokens are parentheses, integer and
+ * float literals, and symbols (including :keywords). Comments run from
+ * ';' to end of line.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "procoup/lang/sexpr.hh"
+
+namespace procoup {
+namespace lang {
+
+/** One lexical token. */
+struct Token
+{
+    enum class Kind { LParen, RParen, Int, Float, Symbol, End };
+
+    Kind kind = Kind::End;
+    std::int64_t ival = 0;
+    double fval = 0.0;
+    std::string text;
+    SourceLoc loc;
+};
+
+/** Tokenize @p source. @throws CompileError on malformed literals. */
+std::vector<Token> tokenize(const std::string& source);
+
+} // namespace lang
+} // namespace procoup
+
+#endif // PROCOUP_LANG_LEXER_HH

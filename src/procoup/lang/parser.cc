@@ -1,0 +1,84 @@
+#include "procoup/lang/parser.hh"
+
+#include "procoup/lang/lexer.hh"
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace lang {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : toks(std::move(tokens)) {}
+
+    std::vector<Sexpr>
+    parseAll()
+    {
+        std::vector<Sexpr> out;
+        while (peek().kind != Token::Kind::End)
+            out.push_back(parseOne());
+        return out;
+    }
+
+  private:
+    const Token&
+    peek() const
+    {
+        return toks[pos];
+    }
+
+    Token
+    take()
+    {
+        return toks[pos++];
+    }
+
+    Sexpr
+    parseOne()
+    {
+        const Token t = take();
+        switch (t.kind) {
+          case Token::Kind::Int:
+            return Sexpr::makeInt(t.ival, t.loc);
+          case Token::Kind::Float:
+            return Sexpr::makeFloat(t.fval, t.loc);
+          case Token::Kind::Symbol:
+            return Sexpr::makeSymbol(t.text, t.loc);
+          case Token::Kind::LParen: {
+            std::vector<Sexpr> items;
+            while (peek().kind != Token::Kind::RParen) {
+                if (peek().kind == Token::Kind::End)
+                    throw CompileError(
+                        strCat("unterminated list starting at ",
+                               t.loc.toString()));
+                items.push_back(parseOne());
+            }
+            take();  // the ')'
+            return Sexpr::makeList(std::move(items), t.loc);
+          }
+          case Token::Kind::RParen:
+            throw CompileError(strCat("unmatched ')' at ",
+                                      t.loc.toString()));
+          case Token::Kind::End:
+            break;
+        }
+        throw CompileError("unexpected end of input");
+    }
+
+    std::vector<Token> toks;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+std::vector<Sexpr>
+parse(const std::string& source)
+{
+    return Parser(tokenize(source)).parseAll();
+}
+
+} // namespace lang
+} // namespace procoup

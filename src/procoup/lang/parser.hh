@@ -1,0 +1,26 @@
+#ifndef PROCOUP_LANG_PARSER_HH
+#define PROCOUP_LANG_PARSER_HH
+
+/**
+ * @file
+ * Parser: token stream to a list of top-level s-expressions.
+ */
+
+#include <string>
+#include <vector>
+
+#include "procoup/lang/sexpr.hh"
+
+namespace procoup {
+namespace lang {
+
+/**
+ * Parse PCL source text into its top-level forms.
+ * @throws CompileError on unbalanced parentheses or stray atoms.
+ */
+std::vector<Sexpr> parse(const std::string& source);
+
+} // namespace lang
+} // namespace procoup
+
+#endif // PROCOUP_LANG_PARSER_HH

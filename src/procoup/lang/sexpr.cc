@@ -1,0 +1,142 @@
+#include "procoup/lang/sexpr.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace lang {
+
+std::string
+SourceLoc::toString() const
+{
+    return strCat("line ", line, ", column ", column);
+}
+
+Sexpr
+Sexpr::makeInt(std::int64_t v, SourceLoc loc)
+{
+    Sexpr s;
+    s._kind = Kind::Int;
+    s.ival = v;
+    s._loc = loc;
+    return s;
+}
+
+Sexpr
+Sexpr::makeFloat(double v, SourceLoc loc)
+{
+    Sexpr s;
+    s._kind = Kind::Float;
+    s.fval = v;
+    s._loc = loc;
+    return s;
+}
+
+Sexpr
+Sexpr::makeSymbol(std::string sym, SourceLoc loc)
+{
+    Sexpr s;
+    s._kind = Kind::Symbol;
+    s.sym = std::move(sym);
+    s._loc = loc;
+    return s;
+}
+
+Sexpr
+Sexpr::makeList(std::vector<Sexpr> items, SourceLoc loc)
+{
+    Sexpr s;
+    s._kind = Kind::List;
+    s.list = std::move(items);
+    s._loc = loc;
+    return s;
+}
+
+bool
+Sexpr::isSymbol(const std::string& s) const
+{
+    return _kind == Kind::Symbol && sym == s;
+}
+
+bool
+Sexpr::isCall(const std::string& s) const
+{
+    return _kind == Kind::List && !list.empty() && list[0].isSymbol(s);
+}
+
+std::int64_t
+Sexpr::intValue() const
+{
+    PROCOUP_ASSERT(_kind == Kind::Int, "not an integer atom");
+    return ival;
+}
+
+double
+Sexpr::floatValue() const
+{
+    PROCOUP_ASSERT(_kind == Kind::Float, "not a float atom");
+    return fval;
+}
+
+double
+Sexpr::numberValue() const
+{
+    if (_kind == Kind::Int)
+        return static_cast<double>(ival);
+    PROCOUP_ASSERT(_kind == Kind::Float, "not a numeric atom");
+    return fval;
+}
+
+const std::string&
+Sexpr::symbol() const
+{
+    PROCOUP_ASSERT(_kind == Kind::Symbol, "not a symbol atom");
+    return sym;
+}
+
+const std::vector<Sexpr>&
+Sexpr::items() const
+{
+    PROCOUP_ASSERT(_kind == Kind::List, "not a list");
+    return list;
+}
+
+const Sexpr&
+Sexpr::at(std::size_t i) const
+{
+    const auto& v = items();
+    if (i >= v.size())
+        throw CompileError(strCat("form at ", _loc.toString(),
+                                  " needs at least ", i + 1,
+                                  " elements, has ", v.size()));
+    return v[i];
+}
+
+std::size_t
+Sexpr::size() const
+{
+    return items().size();
+}
+
+std::string
+Sexpr::toString() const
+{
+    switch (_kind) {
+      case Kind::Int:    return strCat(ival);
+      case Kind::Float:  return strCat(fval);
+      case Kind::Symbol: return sym;
+      case Kind::List: {
+        std::string s = "(";
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (i)
+                s += " ";
+            s += list[i].toString();
+        }
+        return s + ")";
+      }
+    }
+    PROCOUP_PANIC("bad Sexpr kind");
+}
+
+} // namespace lang
+} // namespace procoup

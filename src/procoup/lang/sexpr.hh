@@ -1,0 +1,77 @@
+#ifndef PROCOUP_LANG_SEXPR_HH
+#define PROCOUP_LANG_SEXPR_HH
+
+/**
+ * @file
+ * S-expression values: the parse tree of PCL, the benchmark source
+ * language ("simplified C semantics with Lisp syntax", paper Section 3).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace procoup {
+namespace lang {
+
+/** Position in the source text, for diagnostics. */
+struct SourceLoc
+{
+    int line = 0;
+    int column = 0;
+
+    std::string toString() const;
+};
+
+/** One node of the parse tree: an atom or a list. */
+class Sexpr
+{
+  public:
+    enum class Kind { Int, Float, Symbol, List };
+
+    static Sexpr makeInt(std::int64_t v, SourceLoc loc = {});
+    static Sexpr makeFloat(double v, SourceLoc loc = {});
+    static Sexpr makeSymbol(std::string s, SourceLoc loc = {});
+    static Sexpr makeList(std::vector<Sexpr> items, SourceLoc loc = {});
+
+    Kind kind() const { return _kind; }
+    bool isInt() const { return _kind == Kind::Int; }
+    bool isFloat() const { return _kind == Kind::Float; }
+    bool isNumber() const { return isInt() || isFloat(); }
+    bool isSymbol() const { return _kind == Kind::Symbol; }
+    bool isList() const { return _kind == Kind::List; }
+
+    /** True if a symbol equal to @p s. */
+    bool isSymbol(const std::string& s) const;
+
+    /** True if a list whose head is the symbol @p s. */
+    bool isCall(const std::string& s) const;
+
+    std::int64_t intValue() const;
+    double floatValue() const;
+    /** Numeric value as double (int or float atom). */
+    double numberValue() const;
+    const std::string& symbol() const;
+    const std::vector<Sexpr>& items() const;
+
+    /** List element access with bounds checking. */
+    const Sexpr& at(std::size_t i) const;
+    std::size_t size() const;
+
+    const SourceLoc& loc() const { return _loc; }
+
+    std::string toString() const;
+
+  private:
+    Kind _kind = Kind::List;
+    std::int64_t ival = 0;
+    double fval = 0.0;
+    std::string sym;
+    std::vector<Sexpr> list;
+    SourceLoc _loc;
+};
+
+} // namespace lang
+} // namespace procoup
+
+#endif // PROCOUP_LANG_SEXPR_HH

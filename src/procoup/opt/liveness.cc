@@ -1,0 +1,76 @@
+#include "procoup/opt/liveness.hh"
+
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace opt {
+
+Liveness
+computeLiveness(const ir::ThreadFunc& func)
+{
+    const int nblocks = static_cast<int>(func.blocks.size());
+    const std::size_t nregs = func.regTypes.size();
+
+    // Per-block use (read before any write) and def (written) sets.
+    std::vector<std::vector<bool>> use(nblocks,
+                                       std::vector<bool>(nregs, false));
+    std::vector<std::vector<bool>> def(nblocks,
+                                       std::vector<bool>(nregs, false));
+
+    for (int b = 0; b < nblocks; ++b) {
+        for (const auto& i : func.blocks[b].instrs) {
+            for (const auto& s : i.srcs)
+                if (s.isReg() && !def[b][s.reg()])
+                    use[b][s.reg()] = true;
+            if (i.dst != ir::kNoReg)
+                def[b][i.dst] = true;
+        }
+    }
+
+    Liveness live;
+    live.liveIn.assign(nblocks, std::vector<bool>(nregs, false));
+    live.liveOut.assign(nblocks, std::vector<bool>(nregs, false));
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = nblocks - 1; b >= 0; --b) {
+            std::vector<bool> out(nregs, false);
+            for (int s : func.successors(b))
+                for (std::size_t r = 0; r < nregs; ++r)
+                    if (live.liveIn[s][r])
+                        out[r] = true;
+
+            std::vector<bool> in = use[b];
+            for (std::size_t r = 0; r < nregs; ++r)
+                if (out[r] && !def[b][r])
+                    in[r] = true;
+
+            if (out != live.liveOut[b] || in != live.liveIn[b]) {
+                live.liveOut[b] = std::move(out);
+                live.liveIn[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return live;
+}
+
+std::vector<bool>
+crossBlockRegs(const ir::ThreadFunc& func, const Liveness& live)
+{
+    const std::size_t nregs = func.regTypes.size();
+    std::vector<bool> cross(nregs, false);
+
+    for (std::size_t b = 0; b < func.blocks.size(); ++b)
+        for (std::size_t r = 0; r < nregs; ++r)
+            if (live.liveIn[b][r] || live.liveOut[b][r])
+                cross[r] = true;
+
+    for (std::uint32_t p : func.params)
+        cross[p] = true;
+    return cross;
+}
+
+} // namespace opt
+} // namespace procoup

@@ -1,0 +1,49 @@
+#ifndef PROCOUP_OPT_LIVENESS_HH
+#define PROCOUP_OPT_LIVENESS_HH
+
+/**
+ * @file
+ * Live-variable analysis over the IR CFG. The paper's compiler keeps
+ * "live variables ... in registers across basic block boundaries";
+ * the scheduler uses this analysis to decide which virtual registers
+ * need a stable home register, and dead-code elimination uses the
+ * def/use sets.
+ */
+
+#include <vector>
+
+#include "procoup/ir/ir.hh"
+
+namespace procoup {
+namespace opt {
+
+/** Per-block liveness sets (indexed [block][vreg]). */
+struct Liveness
+{
+    std::vector<std::vector<bool>> liveIn;
+    std::vector<std::vector<bool>> liveOut;
+
+    bool isLiveIn(int block, std::uint32_t reg) const
+    {
+        return liveIn[block][reg];
+    }
+
+    bool isLiveOut(int block, std::uint32_t reg) const
+    {
+        return liveOut[block][reg];
+    }
+};
+
+/** Standard backward may-analysis to a fixpoint. */
+Liveness computeLiveness(const ir::ThreadFunc& func);
+
+/** Virtual registers live across any block boundary (live-in anywhere,
+ *  or live-out of a block other than the one defining them); function
+ *  parameters always count. These need stable home registers. */
+std::vector<bool> crossBlockRegs(const ir::ThreadFunc& func,
+                                 const Liveness& live);
+
+} // namespace opt
+} // namespace procoup
+
+#endif // PROCOUP_OPT_LIVENESS_HH

@@ -1,0 +1,362 @@
+#include "procoup/opt/passes.hh"
+
+#include <map>
+#include <optional>
+
+#include "procoup/sim/alu.hh"
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace opt {
+
+using ir::IrInstr;
+using ir::IrValue;
+using ir::ThreadFunc;
+using isa::Opcode;
+using isa::Value;
+
+namespace {
+
+/** Number of definitions of each vreg in the function. */
+std::vector<int>
+defCounts(const ThreadFunc& func)
+{
+    std::vector<int> counts(func.regTypes.size(), 0);
+    for (std::uint32_t p : func.params)
+        ++counts[p];
+    for (const auto& b : func.blocks)
+        for (const auto& i : b.instrs)
+            if (i.dst != ir::kNoReg)
+                ++counts[i.dst];
+    return counts;
+}
+
+/** True for operations free of side effects whose value is a pure
+ *  function of the sources (removable / CSE-able). */
+bool
+isPureAlu(const IrInstr& i)
+{
+    if (i.dst == ir::kNoReg || i.isMemory())
+        return false;
+    switch (i.op) {
+      case Opcode::MARK: case Opcode::FORK: case Opcode::ETHR:
+      case Opcode::BR: case Opcode::BT: case Opcode::BF:
+      case Opcode::NOP:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** A plain (non-synchronizing) load. */
+bool
+isPlainLoad(const IrInstr& i)
+{
+    return i.op == Opcode::LD &&
+           i.flavor.pre == isa::MemPre::None &&
+           i.flavor.post == isa::MemPost::Leave;
+}
+
+/** A memory reference with synchronization semantics. */
+bool
+isSyncMemory(const IrInstr& i)
+{
+    if (!i.isMemory())
+        return false;
+    if (i.flavor.pre != isa::MemPre::None)
+        return true;
+    if (i.op == Opcode::LD)
+        return i.flavor.post != isa::MemPost::Leave;
+    return i.flavor.post != isa::MemPost::SetFull;
+}
+
+/** Try to evaluate a pure op whose sources are all constants. */
+std::optional<Value>
+foldInstr(const IrInstr& i)
+{
+    std::vector<Value> srcs;
+    for (const auto& s : i.srcs) {
+        if (!s.isConst())
+            return std::nullopt;
+        srcs.push_back(s.constant());
+    }
+    if (i.op == Opcode::IDIV || i.op == Opcode::IMOD) {
+        if (srcs.size() == 2 && srcs[1].asInt() == 0)
+            return std::nullopt;  // keep the runtime trap
+    }
+    return sim::evalAlu(i.op, srcs);
+}
+
+} // namespace
+
+bool
+constantPropagation(ThreadFunc& func)
+{
+    const auto defs = defCounts(func);
+
+    // Single-definition registers holding constants are constant
+    // everywhere (the frontend emits structured code: a single def
+    // dominates every use).
+    std::map<std::uint32_t, Value> global_const;
+    for (const auto& b : func.blocks)
+        for (const auto& i : b.instrs)
+            if (i.op == Opcode::MOV && i.dst != ir::kNoReg &&
+                    defs[i.dst] == 1 && i.srcs[0].isConst())
+                global_const.emplace(i.dst, i.srcs[0].constant());
+
+    bool changed = false;
+    for (auto& b : func.blocks) {
+        std::map<std::uint32_t, Value> local;
+        for (auto& i : b.instrs) {
+            // Substitute known constants into sources.
+            for (auto& s : i.srcs) {
+                if (!s.isReg())
+                    continue;
+                auto lit = local.find(s.reg());
+                if (lit != local.end()) {
+                    s = IrValue::makeConst(lit->second);
+                    changed = true;
+                    continue;
+                }
+                auto git = global_const.find(s.reg());
+                if (git != global_const.end()) {
+                    s = IrValue::makeConst(git->second);
+                    changed = true;
+                }
+            }
+
+            // Static evaluation of pure ops with constant operands.
+            if (isPureAlu(i) && i.op != Opcode::MOV) {
+                if (auto v = foldInstr(i)) {
+                    i.op = Opcode::MOV;
+                    i.srcs = {IrValue::makeConst(*v)};
+                    changed = true;
+                }
+            }
+
+            if (i.dst != ir::kNoReg) {
+                local.erase(i.dst);
+                if (i.op == Opcode::MOV && i.srcs[0].isConst())
+                    local.emplace(i.dst, i.srcs[0].constant());
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+copyPropagation(ThreadFunc& func)
+{
+    const auto defs = defCounts(func);
+
+    // Function-wide copies: MOV dst <- src where both are defined
+    // exactly once; dst is then an alias of src everywhere.
+    std::map<std::uint32_t, std::uint32_t> alias;
+    for (const auto& b : func.blocks)
+        for (const auto& i : b.instrs)
+            if (i.op == Opcode::MOV && i.dst != ir::kNoReg &&
+                    i.srcs[0].isReg() && defs[i.dst] == 1 &&
+                    defs[i.srcs[0].reg()] == 1 &&
+                    func.regType(i.dst) ==
+                        func.regType(i.srcs[0].reg()))
+                alias[i.dst] = i.srcs[0].reg();
+
+    auto resolve = [&](std::uint32_t r) {
+        // Follow chains (a = b, b = c); cycles cannot occur in
+        // single-def copies.
+        while (true) {
+            auto it = alias.find(r);
+            if (it == alias.end())
+                return r;
+            r = it->second;
+        }
+    };
+
+    bool changed = false;
+    for (auto& b : func.blocks) {
+        // Block-local copy environment for multi-def registers.
+        std::map<std::uint32_t, std::uint32_t> local;
+        for (auto& i : b.instrs) {
+            for (auto& s : i.srcs) {
+                if (!s.isReg())
+                    continue;
+                std::uint32_t r = s.reg();
+                auto lit = local.find(r);
+                if (lit != local.end())
+                    r = lit->second;
+                r = resolve(r);
+                if (r != s.reg()) {
+                    s = IrValue::makeReg(r);
+                    changed = true;
+                }
+            }
+
+            if (i.dst != ir::kNoReg) {
+                // Kill copies reading or defining the overwritten reg.
+                for (auto it = local.begin(); it != local.end();) {
+                    if (it->first == i.dst || it->second == i.dst)
+                        it = local.erase(it);
+                    else
+                        ++it;
+                }
+                if (i.op == Opcode::MOV && i.srcs[0].isReg() &&
+                        i.srcs[0].reg() != i.dst &&
+                        func.regType(i.dst) ==
+                            func.regType(i.srcs[0].reg()))
+                    local[i.dst] = i.srcs[0].reg();
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+commonSubexpressionElimination(ThreadFunc& func)
+{
+    bool changed = false;
+
+    for (auto& b : func.blocks) {
+        // Available expressions: key -> defining vreg.
+        std::map<std::string, std::uint32_t> avail;
+        // Keys that must be killed when a vreg is redefined.
+        std::multimap<std::uint32_t, std::string> by_src;
+
+        auto key_of = [](const IrInstr& i) {
+            std::string k = isa::opcodeName(i.op);
+            for (const auto& s : i.srcs)
+                k += "|" + s.toString();
+            if (i.isMemory())
+                k += "|" + i.memSym + "|" + i.flavor.toString();
+            return k;
+        };
+
+        auto kill_loads = [&](const std::string& sym) {
+            for (auto it = avail.begin(); it != avail.end();) {
+                const bool is_load = it->first.rfind("ld|", 0) == 0;
+                const bool aliases =
+                    sym.empty() ||
+                    it->first.find("|" + sym + "|") != std::string::npos;
+                if (is_load && aliases)
+                    it = avail.erase(it);
+                else
+                    ++it;
+            }
+        };
+
+        for (auto& i : b.instrs) {
+            const bool cseable =
+                (isPureAlu(i) && i.op != Opcode::MOV) || isPlainLoad(i);
+
+            bool rewritten = false;
+            std::string key;
+            if (cseable) {
+                key = key_of(i);
+                auto it = avail.find(key);
+                if (it != avail.end() &&
+                        func.regType(it->second) == func.regType(i.dst)) {
+                    // Duplicate: rewrite as a copy of the prior result.
+                    i.op = Opcode::MOV;
+                    i.srcs = {IrValue::makeReg(it->second)};
+                    i.memSym.clear();
+                    i.flavor = isa::MemFlavor();
+                    changed = true;
+                    rewritten = true;
+                }
+            }
+
+            // Invalidation rules.
+            if (i.op == Opcode::ST) {
+                if (isSyncMemory(i))
+                    kill_loads("");
+                else
+                    kill_loads(i.memSym);
+            } else if (i.op == Opcode::LD && isSyncMemory(i)) {
+                kill_loads("");
+            } else if (i.op == Opcode::FORK) {
+                kill_loads("");
+            }
+
+            if (i.dst != ir::kNoReg) {
+                // Redefinition kills expressions reading the old value
+                // and the expression that defined it.
+                auto range = by_src.equal_range(i.dst);
+                for (auto it = range.first; it != range.second; ++it)
+                    avail.erase(it->second);
+                by_src.erase(i.dst);
+                for (auto it = avail.begin(); it != avail.end();) {
+                    if (it->second == i.dst)
+                        it = avail.erase(it);
+                    else
+                        ++it;
+                }
+            }
+
+            // Make the (surviving) expression available, unless it
+            // consumes the register it defines (x = x * x).
+            if (cseable && !rewritten) {
+                bool self_ref = false;
+                for (const auto& s : i.srcs)
+                    if (s.isReg() && s.reg() == i.dst)
+                        self_ref = true;
+                if (!self_ref) {
+                    avail[key] = i.dst;
+                    for (const auto& s : i.srcs)
+                        if (s.isReg())
+                            by_src.emplace(s.reg(), key);
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+deadCodeElimination(ThreadFunc& func)
+{
+    bool changed = false;
+    bool again = true;
+    while (again) {
+        again = false;
+        std::vector<bool> used(func.regTypes.size(), false);
+        for (const auto& b : func.blocks)
+            for (const auto& i : b.instrs)
+                for (const auto& s : i.srcs)
+                    if (s.isReg())
+                        used[s.reg()] = true;
+
+        for (auto& b : func.blocks) {
+            auto& ins = b.instrs;
+            for (auto it = ins.begin(); it != ins.end();) {
+                const bool removable =
+                    (isPureAlu(*it) || isPlainLoad(*it)) &&
+                    it->dst != ir::kNoReg && !used[it->dst];
+                if (removable) {
+                    it = ins.erase(it);
+                    changed = again = true;
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+void
+optimize(ir::Module& mod)
+{
+    for (auto& f : mod.funcs) {
+        for (int round = 0; round < 16; ++round) {
+            bool changed = false;
+            changed |= constantPropagation(f);
+            changed |= copyPropagation(f);
+            changed |= commonSubexpressionElimination(f);
+            changed |= deadCodeElimination(f);
+            if (!changed)
+                break;
+        }
+    }
+}
+
+} // namespace opt
+} // namespace procoup

@@ -1,0 +1,47 @@
+#ifndef PROCOUP_OPT_PASSES_HH
+#define PROCOUP_OPT_PASSES_HH
+
+/**
+ * @file
+ * IR optimization passes, mirroring the paper's compiler: "constant
+ * propagation, common subexpression elimination, and static evaluation
+ * of expressions with constant operands", plus the copy propagation
+ * and dead-code elimination needed to clean up after macro expansion.
+ *
+ * Deliberately *not* implemented (the paper's stated ceiling): trace
+ * scheduling, software pipelining, and code motion across basic block
+ * boundaries.
+ */
+
+#include "procoup/ir/ir.hh"
+
+namespace procoup {
+namespace opt {
+
+/** Fold operations with constant operands and propagate constants
+ *  (block-local plus single-definition registers). @return changed */
+bool constantPropagation(ir::ThreadFunc& func);
+
+/** Forward MOV chains (block-local plus single-definition copies). */
+bool copyPropagation(ir::ThreadFunc& func);
+
+/**
+ * Block-local common subexpression elimination over pure ALU
+ * operations and plain loads. Loads are invalidated by possibly
+ * aliasing stores, by synchronizing references, and by FORK (a
+ * spawned thread may write memory). Duplicates become MOVs, which
+ * copy propagation and DCE then erase.
+ */
+bool commonSubexpressionElimination(ir::ThreadFunc& func);
+
+/** Remove pure operations (ALU ops and plain loads) whose result is
+ *  never read. */
+bool deadCodeElimination(ir::ThreadFunc& func);
+
+/** Run all passes to a fixpoint over every function in the module. */
+void optimize(ir::Module& mod);
+
+} // namespace opt
+} // namespace procoup
+
+#endif // PROCOUP_OPT_PASSES_HH

@@ -1,0 +1,77 @@
+#ifndef PROCOUP_SCHED_COMPILER_HH
+#define PROCOUP_SCHED_COMPILER_HH
+
+/**
+ * @file
+ * Compile driver: PCL source -> optimized IR -> scheduled Program.
+ *
+ * The two scheduling modes mirror the paper's compiler flag:
+ *  - Single: "each thread's code is scheduled on the function units
+ *    of a single cluster. The compiler chooses upon which cluster a
+ *    given thread will be scheduled" (SEQ and TPE machines).
+ *  - Unrestricted: "each thread may use as many of the function units
+ *    as it needs. The compiler assigns an ordered list of clusters to
+ *    each thread ... different orderings for different threads serves
+ *    as a simple form of load balancing" (STS, Ideal, Coupled).
+ */
+
+#include <string>
+#include <vector>
+
+#include "procoup/config/machine.hh"
+#include "procoup/ir/ir.hh"
+#include "procoup/isa/program.hh"
+#include "procoup/sched/scheduler.hh"
+
+namespace procoup {
+namespace sched {
+
+/** The compiler's cluster-restriction flag. */
+enum class ScheduleMode
+{
+    Single,
+    Unrestricted,
+};
+
+struct CompileOptions
+{
+    ScheduleMode mode = ScheduleMode::Unrestricted;
+
+    /** Clones per spawned thread function for static load balancing;
+     *  0 = one per arithmetic cluster. */
+    int forkClones = 0;
+
+    /** Run the optimization passes (on by default; off for tests). */
+    bool runOptimizer = true;
+};
+
+/** A compiled program plus the paper-style compiler diagnostics. */
+struct CompileResult
+{
+    isa::Program program;
+
+    /** Per-function schedule information (lengths, registers). */
+    std::vector<FuncScheduleInfo> funcInfo;
+
+    /** Peak registers used in any single cluster (the paper reports
+     *  e.g. "a peak of fewer than 60 live registers per cluster"). */
+    std::uint32_t peakRegistersPerCluster() const;
+
+    /** Diagnostics for the function named @p name. */
+    const FuncScheduleInfo& infoFor(const std::string& name) const;
+};
+
+/** Compile PCL source text for @p machine. @throws CompileError */
+CompileResult compile(const std::string& source,
+                      const config::MachineConfig& machine,
+                      const CompileOptions& opts = {});
+
+/** Compile an already-built (and possibly hand-constructed) module. */
+CompileResult compileModule(ir::Module mod,
+                            const config::MachineConfig& machine,
+                            const CompileOptions& opts = {});
+
+} // namespace sched
+} // namespace procoup
+
+#endif // PROCOUP_SCHED_COMPILER_HH

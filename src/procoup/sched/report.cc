@@ -1,0 +1,55 @@
+#include "procoup/sched/report.hh"
+
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
+
+namespace procoup {
+namespace sched {
+
+std::string
+formatSchedule(const isa::ThreadCode& code,
+               const config::MachineConfig& machine)
+{
+    TextTable t;
+    std::vector<std::string> header = {"row"};
+    for (int fu = 0; fu < machine.numFus(); ++fu)
+        header.push_back(strCat(
+            unitTypeName(machine.fuConfig(fu).type),
+            machine.fuCluster(fu)));
+    t.header(header);
+
+    for (std::size_t row = 0; row < code.instructions.size(); ++row) {
+        std::vector<std::string> cells(
+            static_cast<std::size_t>(machine.numFus()) + 1, ".");
+        cells[0] = strCat(row);
+        for (const auto& slot : code.instructions[row].slots) {
+            std::string m = isa::opcodeName(slot.op.opcode);
+            if (isa::opcodeIsBranch(slot.op.opcode))
+                m += strCat("@", slot.op.branchTarget);
+            cells[slot.fu + 1] = m;
+        }
+        t.row(cells);
+    }
+    return strCat("thread ", code.name, " (",
+                  code.instructions.size(), " rows)\n", t.render());
+}
+
+std::string
+formatDiagnostics(const CompileResult& result)
+{
+    TextTable t;
+    t.header({"function", "rows", "ops", "copies", "peak regs/cluster"});
+    for (const auto& fi : result.funcInfo) {
+        std::uint32_t peak = 0;
+        for (auto n : fi.regCount)
+            peak = std::max(peak, n);
+        t.row({fi.name, strCat(fi.totalRows), strCat(fi.totalOps),
+               strCat(fi.copiesInserted), strCat(peak)});
+    }
+    return t.render() +
+           strCat("program peak registers per cluster: ",
+                  result.peakRegistersPerCluster(), "\n");
+}
+
+} // namespace sched
+} // namespace procoup

@@ -1,0 +1,35 @@
+#ifndef PROCOUP_SCHED_REPORT_HH
+#define PROCOUP_SCHED_REPORT_HH
+
+/**
+ * @file
+ * Human-readable schedule reports: the top half of the paper's
+ * Figure 1 — a thread's statically scheduled instruction stream as a
+ * table of rows (wide instructions) by function-unit columns — plus
+ * the compiler diagnostics summary ("a diagnostic file", Section 3).
+ */
+
+#include <string>
+
+#include "procoup/config/machine.hh"
+#include "procoup/isa/program.hh"
+#include "procoup/sched/compiler.hh"
+
+namespace procoup {
+namespace sched {
+
+/**
+ * Render one thread's static schedule as a rows-by-units table with
+ * short mnemonics in occupied slots.
+ */
+std::string formatSchedule(const isa::ThreadCode& code,
+                           const config::MachineConfig& machine);
+
+/** Compiler diagnostics for a whole compile: per-function schedule
+ *  lengths, operation counts, copies, and register peaks. */
+std::string formatDiagnostics(const CompileResult& result);
+
+} // namespace sched
+} // namespace procoup
+
+#endif // PROCOUP_SCHED_REPORT_HH

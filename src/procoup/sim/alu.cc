@@ -1,0 +1,97 @@
+#include "procoup/sim/alu.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace sim {
+
+using isa::Opcode;
+using isa::Value;
+
+namespace {
+
+Value
+intBin(Opcode op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case Opcode::IADD: return Value::makeInt(a + b);
+      case Opcode::ISUB: return Value::makeInt(a - b);
+      case Opcode::IMUL: return Value::makeInt(a * b);
+      case Opcode::IDIV:
+        if (b == 0)
+            throw SimError("integer division by zero");
+        return Value::makeInt(a / b);
+      case Opcode::IMOD:
+        if (b == 0)
+            throw SimError("integer modulo by zero");
+        return Value::makeInt(a % b);
+      case Opcode::IAND: return Value::makeInt(a & b);
+      case Opcode::IOR:  return Value::makeInt(a | b);
+      case Opcode::IXOR: return Value::makeInt(a ^ b);
+      case Opcode::ISHL: return Value::makeInt(a << (b & 63));
+      case Opcode::ISHR: return Value::makeInt(a >> (b & 63));
+      case Opcode::ILT:  return Value::makeInt(a < b);
+      case Opcode::ILE:  return Value::makeInt(a <= b);
+      case Opcode::IEQ:  return Value::makeInt(a == b);
+      case Opcode::INE:  return Value::makeInt(a != b);
+      case Opcode::IGT:  return Value::makeInt(a > b);
+      case Opcode::IGE:  return Value::makeInt(a >= b);
+      default:
+        PROCOUP_PANIC(strCat("not an integer binop: ",
+                             isa::opcodeName(op)));
+    }
+}
+
+Value
+floatBin(Opcode op, double a, double b)
+{
+    switch (op) {
+      case Opcode::FADD: return Value::makeFloat(a + b);
+      case Opcode::FSUB: return Value::makeFloat(a - b);
+      case Opcode::FMUL: return Value::makeFloat(a * b);
+      case Opcode::FDIV: return Value::makeFloat(a / b);
+      case Opcode::FLT:  return Value::makeInt(a < b);
+      case Opcode::FLE:  return Value::makeInt(a <= b);
+      case Opcode::FEQ:  return Value::makeInt(a == b);
+      case Opcode::FNE:  return Value::makeInt(a != b);
+      case Opcode::FGT:  return Value::makeInt(a > b);
+      case Opcode::FGE:  return Value::makeInt(a >= b);
+      default:
+        PROCOUP_PANIC(strCat("not a float binop: ", isa::opcodeName(op)));
+    }
+}
+
+} // namespace
+
+Value
+evalAlu(Opcode op, const std::vector<Value>& srcs)
+{
+    switch (op) {
+      case Opcode::INEG:
+        return Value::makeInt(-srcs.at(0).asInt());
+      case Opcode::INOT:
+        return Value::makeInt(srcs.at(0).asInt() == 0);
+      case Opcode::FNEG:
+        return Value::makeFloat(-srcs.at(0).asFloat());
+      case Opcode::ITOF:
+        return Value::makeFloat(static_cast<double>(srcs.at(0).asInt()));
+      case Opcode::FTOI:
+        return Value::makeInt(static_cast<std::int64_t>(
+            srcs.at(0).asFloat()));
+      case Opcode::MOV:
+      case Opcode::FMOV:
+        return srcs.at(0);
+      default:
+        break;
+    }
+
+    const Value& a = srcs.at(0);
+    const Value& b = srcs.at(1);
+    if (unitTypeOf(op) == isa::UnitType::Integer)
+        return intBin(op, a.asInt(), b.asInt());
+    return floatBin(op, a.asFloat(), b.asFloat());
+}
+
+} // namespace sim
+} // namespace procoup

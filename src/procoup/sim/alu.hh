@@ -1,0 +1,33 @@
+#ifndef PROCOUP_SIM_ALU_HH
+#define PROCOUP_SIM_ALU_HH
+
+/**
+ * @file
+ * Functional semantics of the integer and floating point operations.
+ * Simulation is "at a functional level rather than at a register
+ * transfer level" (paper, Section 3): values are computed exactly, and
+ * timing is handled by the surrounding pipeline model.
+ */
+
+#include <vector>
+
+#include "procoup/isa/opcode.hh"
+#include "procoup/isa/value.hh"
+
+namespace procoup {
+namespace sim {
+
+/**
+ * Evaluate an IU/FPU operation over resolved source values.
+ *
+ * @param op     an integer- or float-unit opcode that writes a register
+ * @param srcs   source values, in operand order
+ * @return the result word
+ * @throws SimError on integer division/modulo by zero
+ */
+isa::Value evalAlu(isa::Opcode op, const std::vector<isa::Value>& srcs);
+
+} // namespace sim
+} // namespace procoup
+
+#endif // PROCOUP_SIM_ALU_HH

@@ -1,0 +1,107 @@
+#include "procoup/sim/interconnect.hh"
+
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace sim {
+
+namespace {
+
+/** Effectively-unlimited per-cycle budget. */
+constexpr int unlimited = 1 << 28;
+
+} // namespace
+
+WritebackNetwork::WritebackNetwork(config::InterconnectScheme scheme,
+                                   int num_clusters)
+    : _scheme(scheme), numClusters(num_clusters),
+      localLeft(num_clusters, 0), globalLeft(num_clusters, 0)
+{
+    PROCOUP_ASSERT(num_clusters > 0, "machine with no clusters");
+    beginCycle();
+}
+
+void
+WritebackNetwork::beginCycle()
+{
+    using config::InterconnectScheme;
+
+    int local = 0;
+    int global = 0;
+    busLeft = unlimited;
+
+    switch (_scheme) {
+      case InterconnectScheme::Full:
+        local = unlimited;
+        global = unlimited;
+        break;
+      case InterconnectScheme::TriPort:
+        local = 1;
+        global = 2;
+        break;
+      case InterconnectScheme::DualPort:
+        local = 1;
+        global = 1;
+        break;
+      case InterconnectScheme::SinglePort:
+        // One port per file, shared by local and remote writers. We
+        // fold both uses into the "local" budget.
+        local = 1;
+        global = 0;
+        break;
+      case InterconnectScheme::SharedBus:
+        local = 1;
+        global = unlimited;  // the bus, not the port, is the bottleneck
+        busLeft = 1;
+        break;
+    }
+
+    for (int c = 0; c < numClusters; ++c) {
+        localLeft[c] = local;
+        globalLeft[c] = global;
+    }
+}
+
+bool
+WritebackNetwork::tryGrant(int src_cluster, int dst_cluster)
+{
+    PROCOUP_ASSERT(dst_cluster >= 0 && dst_cluster < numClusters,
+                   "destination cluster out of range");
+
+    const bool is_local = src_cluster == dst_cluster;
+    const bool single_port =
+        _scheme == config::InterconnectScheme::SinglePort;
+
+    if (is_local || single_port) {
+        // Local writes (and, under Single-Port, all writes) use the
+        // register file's own port first. Under Tri-Port/Dual-Port a
+        // local unit may borrow an idle global port of its own file
+        // (the port is on the register file either way); the shared
+        // bus and Single-Port configurations have no port to borrow.
+        if (localLeft[dst_cluster] > 0) {
+            --localLeft[dst_cluster];
+        } else if (!single_port &&
+                   _scheme != config::InterconnectScheme::SharedBus &&
+                   globalLeft[dst_cluster] > 0) {
+            --globalLeft[dst_cluster];
+        } else {
+            ++_stats.denials;
+            return false;
+        }
+    } else {
+        if (globalLeft[dst_cluster] <= 0 || busLeft <= 0) {
+            ++_stats.denials;
+            return false;
+        }
+        --globalLeft[dst_cluster];
+        --busLeft;
+    }
+
+    ++_stats.grants;
+    if (!is_local)
+        ++_stats.remoteGrants;
+    return true;
+}
+
+} // namespace sim
+} // namespace procoup

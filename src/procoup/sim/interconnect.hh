@@ -1,0 +1,79 @@
+#ifndef PROCOUP_SIM_INTERCONNECT_HH
+#define PROCOUP_SIM_INTERCONNECT_HH
+
+/**
+ * @file
+ * Unit interconnection network: per-cycle arbitration of register-file
+ * write ports and buses for result writeback.
+ *
+ * Models the five communication configurations of the paper's
+ * "Restricting Communication" study (Figure 6):
+ *
+ *  - Full:        unrestricted buses and write ports.
+ *  - Tri-Port:    3 write ports per register file: 1 reserved for the
+ *                 cluster's own units, 2 global ports with private buses.
+ *  - Dual-Port:   like Tri-Port with a single global port.
+ *  - Single-Port: 1 write port per register file with its own bus,
+ *                 shared by local and remote writers.
+ *  - Shared-Bus:  1 local port per file plus one bus shared by the
+ *                 whole machine for all remote writes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "procoup/config/machine.hh"
+
+namespace procoup {
+namespace sim {
+
+/** Interconnect statistics. */
+struct InterconnectStats
+{
+    std::uint64_t grants = 0;
+    std::uint64_t remoteGrants = 0;
+    std::uint64_t denials = 0;  ///< request-cycles denied by arbitration
+};
+
+/** Cycle-by-cycle write-port/bus arbiter. */
+class WritebackNetwork
+{
+  public:
+    WritebackNetwork(config::InterconnectScheme scheme, int num_clusters);
+
+    /** Begin a new cycle: replenish all port and bus budgets. */
+    void beginCycle();
+
+    /**
+     * Try to claim the resources for one register write from
+     * @p src_cluster into @p dst_cluster's register file.
+     *
+     * @return true and consume the resources, or false (caller retries
+     *         next cycle).
+     */
+    bool tryGrant(int src_cluster, int dst_cluster);
+
+    const InterconnectStats& stats() const { return _stats; }
+
+    config::InterconnectScheme scheme() const { return _scheme; }
+
+  private:
+    config::InterconnectScheme _scheme;
+    int numClusters;
+
+    /** Remaining local-port writes per register file this cycle. */
+    std::vector<int> localLeft;
+
+    /** Remaining global-port writes per register file this cycle. */
+    std::vector<int> globalLeft;
+
+    /** Remaining machine-wide shared-bus transfers this cycle. */
+    int busLeft = 0;
+
+    InterconnectStats _stats;
+};
+
+} // namespace sim
+} // namespace procoup
+
+#endif // PROCOUP_SIM_INTERCONNECT_HH

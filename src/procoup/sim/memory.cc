@@ -1,0 +1,249 @@
+#include "procoup/sim/memory.hh"
+
+#include <algorithm>
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace sim {
+
+MemorySystem::MemorySystem(const config::MemoryConfig& cfg,
+                           std::uint32_t size,
+                           const std::vector<isa::MemInit>& inits)
+    : cfg(cfg), words(size), rng(cfg.seed),
+      bankBusyUntil(std::max(cfg.numBanks, 1), 0)
+{
+    for (const auto& mi : inits) {
+        PROCOUP_ASSERT(mi.addr < size, "memory init out of range");
+        words[mi.addr].value = mi.value;
+        words[mi.addr].full = mi.full;
+    }
+}
+
+MemorySystem::Word&
+MemorySystem::word(std::uint32_t addr)
+{
+    if (addr >= words.size())
+        throw SimError(strCat("wild memory access: address ", addr,
+                              " beyond data segment of ", words.size(),
+                              " words"));
+    return words[addr];
+}
+
+const MemorySystem::Word&
+MemorySystem::word(std::uint32_t addr) const
+{
+    return const_cast<MemorySystem*>(this)->word(addr);
+}
+
+std::uint64_t
+MemorySystem::schedule(std::uint64_t cycle, std::uint32_t addr)
+{
+    ++_stats.accesses;
+    std::uint64_t arrival = cycle + cfg.hitLatency;
+    if (cfg.missRate > 0.0 && rng.chance(cfg.missRate)) {
+        ++_stats.misses;
+        arrival += rng.uniformInt(cfg.missPenaltyMin, cfg.missPenaltyMax);
+    } else {
+        ++_stats.hits;
+    }
+
+    // Keep same-address accesses in issue order (arrival may not
+    // overtake an earlier access to the same word).
+    auto it = lastArrival.find(addr);
+    if (it != lastArrival.end())
+        arrival = std::max(arrival, it->second);
+    lastArrival[addr] = arrival;
+
+    if (cfg.modelBankConflicts) {
+        const std::uint32_t bank = addr % bankBusyUntil.size();
+        arrival = std::max(arrival, bankBusyUntil[bank] + 1);
+        bankBusyUntil[bank] = arrival;
+    }
+    return arrival;
+}
+
+void
+MemorySystem::issueLoad(std::uint64_t cycle, int thread, std::uint32_t addr,
+                        isa::MemFlavor flavor,
+                        std::vector<isa::RegRef> dsts, int src_cluster)
+{
+    word(addr);  // range check at issue time
+
+    Transaction tx;
+    tx.id = nextId++;
+    tx.isLoad = true;
+    tx.addr = addr;
+    tx.flavor = flavor;
+    tx.thread = thread;
+    tx.dsts = std::move(dsts);
+    tx.srcCluster = src_cluster;
+    tx.issueCycle = cycle;
+    tx.arrivalCycle = schedule(cycle, addr);
+    inFlight.emplace(tx.arrivalCycle, std::move(tx));
+}
+
+void
+MemorySystem::issueStore(std::uint64_t cycle, int thread,
+                         std::uint32_t addr, isa::MemFlavor flavor,
+                         const isa::Value& value)
+{
+    word(addr);
+
+    Transaction tx;
+    tx.id = nextId++;
+    tx.isLoad = false;
+    tx.addr = addr;
+    tx.storeValue = value;
+    tx.flavor = flavor;
+    tx.thread = thread;
+    tx.issueCycle = cycle;
+    tx.arrivalCycle = schedule(cycle, addr);
+    inFlight.emplace(tx.arrivalCycle, std::move(tx));
+}
+
+bool
+MemorySystem::preconditionMet(const Transaction& tx) const
+{
+    switch (tx.flavor.pre) {
+      case isa::MemPre::None:  return true;
+      case isa::MemPre::Full:  return word(tx.addr).full;
+      case isa::MemPre::Empty: return !word(tx.addr).full;
+    }
+    PROCOUP_PANIC("bad MemPre");
+}
+
+bool
+MemorySystem::perform(Transaction& tx, std::vector<CompletedLoad>& done)
+{
+    Word& w = word(tx.addr);
+
+    if (tx.isLoad) {
+        CompletedLoad cl;
+        cl.thread = tx.thread;
+        cl.dsts = tx.dsts;
+        cl.value = w.value;
+        cl.srcCluster = tx.srcCluster;
+        cl.issueCycle = tx.issueCycle;
+        done.push_back(std::move(cl));
+    } else {
+        w.value = tx.storeValue;
+    }
+
+    const bool was_full = w.full;
+    switch (tx.flavor.post) {
+      case isa::MemPost::Leave:
+        // A plain store still fills the location ("unconditional /
+        // set full" is the only unconditional store in Table 1), so
+        // Leave is only reachable here for loads and wait-full stores.
+        break;
+      case isa::MemPost::SetFull:
+        w.full = true;
+        break;
+      case isa::MemPost::SetEmpty:
+        w.full = false;
+        break;
+    }
+    return w.full != was_full;
+}
+
+void
+MemorySystem::wakeParked(std::uint32_t addr,
+                         std::vector<CompletedLoad>& done,
+                         std::uint64_t cycle)
+{
+    auto it = parked.find(addr);
+    if (it == parked.end())
+        return;
+
+    auto& queue = it->second;
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+            if (!preconditionMet(*qit))
+                continue;
+            Transaction tx = std::move(*qit);
+            queue.erase(qit);
+            _stats.parkedCycles += cycle - tx.parkedSince;
+            perform(tx, done);
+            progressed = true;
+            break;  // state changed; rescan from the front
+        }
+    }
+    if (queue.empty())
+        parked.erase(it);
+}
+
+std::vector<CompletedLoad>
+MemorySystem::tick(std::uint64_t cycle)
+{
+    std::vector<CompletedLoad> done;
+
+    // Arrivals for this cycle, in (arrival, issue-id) order.
+    std::vector<Transaction> arrivals;
+    for (auto it = inFlight.begin();
+         it != inFlight.end() && it->first <= cycle;) {
+        arrivals.push_back(std::move(it->second));
+        it = inFlight.erase(it);
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Transaction& a, const Transaction& b) {
+                  if (a.arrivalCycle != b.arrivalCycle)
+                      return a.arrivalCycle < b.arrivalCycle;
+                  return a.id < b.id;
+              });
+
+    for (auto& tx : arrivals) {
+        if (!preconditionMet(tx)) {
+            ++_stats.parked;
+            tx.parkedSince = cycle;
+            parked[tx.addr].push_back(std::move(tx));
+            continue;
+        }
+        const std::uint32_t addr = tx.addr;
+        const bool changed = perform(tx, done);
+        if (changed)
+            wakeParked(addr, done, cycle);
+    }
+    return done;
+}
+
+bool
+MemorySystem::idle() const
+{
+    return inFlight.empty() && parked.empty();
+}
+
+std::size_t
+MemorySystem::parkedCount() const
+{
+    std::size_t n = 0;
+    for (const auto& [addr, q] : parked)
+        n += q.size();
+    return n;
+}
+
+const isa::Value&
+MemorySystem::peek(std::uint32_t addr) const
+{
+    return word(addr).value;
+}
+
+bool
+MemorySystem::isFull(std::uint32_t addr) const
+{
+    return word(addr).full;
+}
+
+void
+MemorySystem::poke(std::uint32_t addr, const isa::Value& v, bool full)
+{
+    Word& w = word(addr);
+    w.value = v;
+    w.full = full;
+}
+
+} // namespace sim
+} // namespace procoup

@@ -1,0 +1,161 @@
+#ifndef PROCOUP_SIM_MEMORY_HH
+#define PROCOUP_SIM_MEMORY_HH
+
+/**
+ * @file
+ * Node memory system.
+ *
+ * "Like the registers, each memory location has a valid bit. Different
+ * flavors of loads and stores are used to access memory locations...
+ * Memory operations that must wait for synchronization are held in the
+ * memory system. When a subsequent reference changes a location's valid
+ * bit, waiting operations reactivate and complete. This split
+ * transaction protocol reduces memory traffic and allows memory units
+ * to issue other operations." (paper, Section 2)
+ *
+ * Latency is "modeled statistically": hits take hitLatency cycles,
+ * misses add a uniformly distributed penalty. Accesses to the same
+ * address are kept in issue order; bank conflicts are off by default
+ * (the paper's simplification) but can be enabled.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "procoup/config/machine.hh"
+#include "procoup/isa/operation.hh"
+#include "procoup/isa/program.hh"
+#include "procoup/isa/value.hh"
+#include "procoup/support/rng.hh"
+
+namespace procoup {
+namespace sim {
+
+/** A load that finished this cycle and needs register writeback. */
+struct CompletedLoad
+{
+    int thread = 0;
+    std::vector<isa::RegRef> dsts;
+    isa::Value value;
+    int srcCluster = 0;   ///< cluster of the issuing memory unit
+    std::uint64_t issueCycle = 0;
+};
+
+/** Memory statistics filled during simulation. */
+struct MemoryStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t parked = 0;
+    std::uint64_t parkedCycles = 0;
+};
+
+/** The banked, presence-bit memory of one processor-coupled node. */
+class MemorySystem
+{
+  public:
+    MemorySystem(const config::MemoryConfig& cfg, std::uint32_t size,
+                 const std::vector<isa::MemInit>& inits);
+
+    /** Issue a load at @p cycle; completion is reported by tick(). */
+    void issueLoad(std::uint64_t cycle, int thread, std::uint32_t addr,
+                   isa::MemFlavor flavor, std::vector<isa::RegRef> dsts,
+                   int src_cluster);
+
+    /** Issue a store at @p cycle. */
+    void issueStore(std::uint64_t cycle, int thread, std::uint32_t addr,
+                    isa::MemFlavor flavor, const isa::Value& value);
+
+    /**
+     * Advance to @p cycle: process arrivals in issue order, run
+     * precondition checks, park or perform, wake parked waiters on
+     * presence-bit changes.
+     *
+     * @return loads completed this cycle (ready for writeback now)
+     */
+    std::vector<CompletedLoad> tick(std::uint64_t cycle);
+
+    /** True when nothing is in flight and nothing is parked. */
+    bool idle() const;
+
+    /** Number of parked (synchronization-blocked) references. */
+    std::size_t parkedCount() const;
+
+    /** Debug/readback access. */
+    const isa::Value& peek(std::uint32_t addr) const;
+    bool isFull(std::uint32_t addr) const;
+    void poke(std::uint32_t addr, const isa::Value& v, bool full);
+
+    const MemoryStats& stats() const { return _stats; }
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(words.size());
+    }
+
+  private:
+    struct Word
+    {
+        isa::Value value;
+        bool full = true;
+    };
+
+    struct Transaction
+    {
+        std::uint64_t id = 0;
+        bool isLoad = true;
+        std::uint32_t addr = 0;
+        isa::Value storeValue;
+        isa::MemFlavor flavor;
+        int thread = 0;
+        std::vector<isa::RegRef> dsts;
+        int srcCluster = 0;
+        std::uint64_t issueCycle = 0;
+        std::uint64_t arrivalCycle = 0;
+        std::uint64_t parkedSince = 0;
+    };
+
+    Word& word(std::uint32_t addr);
+    const Word& word(std::uint32_t addr) const;
+
+    /** Compute the arrival cycle (latency model + ordering rules). */
+    std::uint64_t schedule(std::uint64_t cycle, std::uint32_t addr);
+
+    bool preconditionMet(const Transaction& tx) const;
+
+    /** Apply the access and its postcondition. @return true if the
+     *  presence bit changed. */
+    bool perform(Transaction& tx, std::vector<CompletedLoad>& done);
+
+    /** Re-examine the park queue of @p addr after a bit change. */
+    void wakeParked(std::uint32_t addr, std::vector<CompletedLoad>& done,
+                    std::uint64_t cycle);
+
+    config::MemoryConfig cfg;
+    std::vector<Word> words;
+    Rng rng;
+
+    std::uint64_t nextId = 0;
+
+    /** In flight, ordered by (arrivalCycle, id). */
+    std::multimap<std::uint64_t, Transaction> inFlight;
+
+    /** Parked waiters per address, in arrival order. */
+    std::map<std::uint32_t, std::deque<Transaction>> parked;
+
+    /** Per-address ordering fence (last scheduled arrival). */
+    std::map<std::uint32_t, std::uint64_t> lastArrival;
+
+    /** Per-bank last service cycle (bank-conflict extension). */
+    std::vector<std::uint64_t> bankBusyUntil;
+
+    MemoryStats _stats;
+};
+
+} // namespace sim
+} // namespace procoup
+
+#endif // PROCOUP_SIM_MEMORY_HH

@@ -1,0 +1,57 @@
+#include "procoup/sim/opcache.hh"
+
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace sim {
+
+OpCaches::OpCaches(const OpCacheConfig& cfg, int num_fus) : cfg(cfg)
+{
+    if (cfg.enabled) {
+        PROCOUP_ASSERT(cfg.linesPerUnit > 0 && cfg.rowsPerLine > 0 &&
+                       cfg.missPenalty >= 0,
+                       "bad operation-cache configuration");
+        lines.assign(num_fus, std::vector<Line>(cfg.linesPerUnit));
+    }
+}
+
+bool
+OpCaches::present(int fu, std::uint32_t code, std::uint32_t row,
+                  std::uint64_t cycle)
+{
+    if (!cfg.enabled)
+        return true;
+
+    const std::uint64_t line_no = row / cfg.rowsPerLine;
+    // Tag mixes the thread function and line number; the set index
+    // strides over lines so consecutive rows map to different sets.
+    const std::uint64_t tag = (static_cast<std::uint64_t>(code) << 32) |
+                              line_no;
+    const std::size_t set =
+        static_cast<std::size_t>((line_no + code * 7) %
+                                 static_cast<std::uint64_t>(
+                                     cfg.linesPerUnit));
+
+    Line& l = lines[fu][set];
+    if (l.valid && l.tag == tag) {
+        if (cycle < l.readyCycle)
+            return false;  // line still in flight
+        ++_stats.hits;
+        return true;
+    }
+
+    // A line still being fetched cannot be evicted, or two conflicting
+    // requesters would restart each other's fetches forever (livelock);
+    // the loser waits for the fetch to land and evicts afterwards.
+    if (l.valid && cycle < l.readyCycle)
+        return false;
+
+    ++_stats.misses;
+    l.valid = true;
+    l.tag = tag;
+    l.readyCycle = cycle + cfg.missPenalty;
+    return cfg.missPenalty == 0;
+}
+
+} // namespace sim
+} // namespace procoup

@@ -1,0 +1,70 @@
+#ifndef PROCOUP_SIM_OPCACHE_HH
+#define PROCOUP_SIM_OPCACHE_HH
+
+/**
+ * @file
+ * Operation caches.
+ *
+ * "Each function unit contains an operation cache and an operation
+ * buffer. When summed over all function units, the operation caches
+ * form the instruction cache." (paper, Section 2). The paper's
+ * evaluation assumes no misses ("No instruction cache misses or
+ * operation prefetch delays are included"); this optional model adds
+ * them: each unit caches lines of its own operation column, tagged by
+ * (thread function, row line); a miss blocks issue of that operation
+ * until the line arrives. Threads running the same code share lines —
+ * one reason interleaving many instances of one loop is cheap.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "procoup/config/machine.hh"
+
+namespace procoup {
+namespace sim {
+
+using config::OpCacheConfig;
+
+/** Operation-cache statistics. */
+struct OpCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/** The operation caches of all function units of one node. */
+class OpCaches
+{
+  public:
+    OpCaches(const OpCacheConfig& cfg, int num_fus);
+
+    /**
+     * Is the operation at @p row of thread function @p code present
+     * in unit @p fu's cache at @p cycle? A miss starts the line fetch
+     * (idempotent) and returns false until it lands.
+     */
+    bool present(int fu, std::uint32_t code, std::uint32_t row,
+                 std::uint64_t cycle);
+
+    const OpCacheStats& stats() const { return _stats; }
+
+    bool enabled() const { return cfg.enabled; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t readyCycle = 0;  ///< still being fetched before
+    };
+
+    OpCacheConfig cfg;
+    std::vector<std::vector<Line>> lines;  ///< [fu][set]
+    OpCacheStats _stats;
+};
+
+} // namespace sim
+} // namespace procoup
+
+#endif // PROCOUP_SIM_OPCACHE_HH

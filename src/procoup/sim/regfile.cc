@@ -1,0 +1,69 @@
+#include "procoup/sim/regfile.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace sim {
+
+RegisterSet::RegisterSet(const std::vector<std::uint32_t>& frame_sizes)
+{
+    frames.reserve(frame_sizes.size());
+    for (std::uint32_t n : frame_sizes)
+        frames.emplace_back(n);
+}
+
+const RegisterSet::Cell&
+RegisterSet::cell(const isa::RegRef& r) const
+{
+    PROCOUP_ASSERT(r.cluster < frames.size(),
+                   strCat("register cluster out of range: ", r.toString()));
+    PROCOUP_ASSERT(r.index < frames[r.cluster].size(),
+                   strCat("register index out of range: ", r.toString()));
+    return frames[r.cluster][r.index];
+}
+
+RegisterSet::Cell&
+RegisterSet::cell(const isa::RegRef& r)
+{
+    return const_cast<Cell&>(
+        static_cast<const RegisterSet*>(this)->cell(r));
+}
+
+bool
+RegisterSet::isValid(const isa::RegRef& r) const
+{
+    return cell(r).valid;
+}
+
+const isa::Value&
+RegisterSet::read(const isa::RegRef& r) const
+{
+    return cell(r).value;
+}
+
+void
+RegisterSet::clearValid(const isa::RegRef& r)
+{
+    cell(r).valid = false;
+}
+
+void
+RegisterSet::write(const isa::RegRef& r, const isa::Value& v)
+{
+    Cell& c = cell(r);
+    c.value = v;
+    c.valid = true;
+}
+
+std::uint32_t
+RegisterSet::frameSize(int cluster) const
+{
+    PROCOUP_ASSERT(cluster >= 0 &&
+                   cluster < static_cast<int>(frames.size()),
+                   "cluster out of range");
+    return static_cast<std::uint32_t>(frames[cluster].size());
+}
+
+} // namespace sim
+} // namespace procoup

@@ -1,0 +1,68 @@
+#ifndef PROCOUP_SIM_REGFILE_HH
+#define PROCOUP_SIM_REGFILE_HH
+
+/**
+ * @file
+ * Per-thread register set with data presence bits.
+ *
+ * "Processor coupling uses data presence bits in registers for low level
+ * synchronization within a thread. An operation will not be issued until
+ * all of its source registers are valid. When an operation is issued,
+ * the valid bit for its destination register is cleared. The valid bit
+ * is set when the operation completes and writes data back to the
+ * register file." (paper, Section 2)
+ *
+ * A thread's register set is distributed over the clusters; we store one
+ * frame per cluster, sized from the compiled ThreadCode.
+ */
+
+#include <vector>
+
+#include "procoup/isa/operation.hh"
+#include "procoup/isa/value.hh"
+
+namespace procoup {
+namespace sim {
+
+/** One thread's distributed register set. */
+class RegisterSet
+{
+  public:
+    /** @param frame_sizes register count per cluster. */
+    explicit RegisterSet(const std::vector<std::uint32_t>& frame_sizes);
+
+    /** Presence bit of a register. */
+    bool isValid(const isa::RegRef& r) const;
+
+    /** Value of a register (defined even while invalid; the old value). */
+    const isa::Value& read(const isa::RegRef& r) const;
+
+    /** Clear the presence bit (operation issue). */
+    void clearValid(const isa::RegRef& r);
+
+    /** Write a value and set the presence bit (operation completion). */
+    void write(const isa::RegRef& r, const isa::Value& v);
+
+    /** Direct write used to deposit FORK parameters at spawn. */
+    void deposit(const isa::RegRef& r, const isa::Value& v) { write(r, v); }
+
+    int numClusters() const { return static_cast<int>(frames.size()); }
+    std::uint32_t frameSize(int cluster) const;
+
+  private:
+    struct Cell
+    {
+        isa::Value value;
+        bool valid = true;  ///< registers start valid (holding int 0)
+    };
+
+    const Cell& cell(const isa::RegRef& r) const;
+    Cell& cell(const isa::RegRef& r);
+
+    std::vector<std::vector<Cell>> frames;
+};
+
+} // namespace sim
+} // namespace procoup
+
+#endif // PROCOUP_SIM_REGFILE_HH

@@ -1,0 +1,503 @@
+#include "procoup/sim/simulator.hh"
+
+#include <algorithm>
+
+#include "procoup/config/validate.hh"
+#include "procoup/sim/alu.hh"
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace sim {
+
+using isa::Opcode;
+using isa::Operation;
+using isa::Value;
+
+Simulator::Simulator(const config::MachineConfig& machine,
+                     const isa::Program& program)
+    : machine(machine), program(program),
+      network(machine.interconnect,
+              static_cast<int>(machine.clusters.size())),
+      opCaches(machine.opCache, machine.numFus())
+{
+    config::validateProgram(this->program, machine);
+
+    for (int fu = 0; fu < machine.numFus(); ++fu) {
+        FuState f;
+        f.cluster = machine.fuCluster(fu);
+        f.type = machine.fuConfig(fu).type;
+        f.latency = machine.fuConfig(fu).latency;
+        fus.push_back(f);
+    }
+    _stats.opsByFu.assign(fus.size(), 0);
+    rrLastThread.assign(fus.size(), -1);
+
+    mem = std::make_unique<MemorySystem>(machine.memory,
+                                         program.memorySize,
+                                         program.memInits);
+
+    spawnThread(program.entry, {});
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::spawnThread(std::uint32_t fork_target,
+                       const std::vector<isa::Value>& args)
+{
+    const auto& code = program.threads.at(fork_target);
+    const int id = static_cast<int>(threads.size());
+    auto t = std::make_unique<ThreadContext>(id, &code, fork_target,
+                                             _cycle);
+    PROCOUP_ASSERT(args.size() == code.paramHomes.size(),
+                   "fork argument count mismatch");
+    for (std::size_t i = 0; i < args.size(); ++i)
+        t->regs().deposit(code.paramHomes[i], args[i]);
+    if (t->state() == ThreadState::Active)
+        activeList.push_back(id);
+    trace(TraceEvent::Kind::Spawn, id, -1, code.name);
+    threads.push_back(std::move(t));
+    ++_stats.threadsSpawned;
+    progressThisCycle = true;
+}
+
+int
+Simulator::activeThreads() const
+{
+    return static_cast<int>(activeList.size());
+}
+
+bool
+Simulator::operandsReady(const ThreadContext& t, const Operation& op) const
+{
+    for (const auto& src : op.srcs)
+        if (src.isReg() && !t.regs().isValid(src.reg()))
+            return false;
+    // Scoreboard write-after-write interlock: a destination with an
+    // outstanding write (e.g. a miss-delayed load) blocks issue, or
+    // the stale writeback could land after — and clobber — ours.
+    for (const auto& dst : op.dsts)
+        if (!t.regs().isValid(dst))
+            return false;
+    return true;
+}
+
+std::vector<Value>
+Simulator::readSources(const ThreadContext& t, const Operation& op) const
+{
+    std::vector<Value> vals;
+    vals.reserve(op.srcs.size());
+    for (const auto& src : op.srcs)
+        vals.push_back(src.isReg() ? t.regs().read(src.reg())
+                                   : src.imm());
+    return vals;
+}
+
+void
+Simulator::trace(TraceEvent::Kind kind, int thread, int fu,
+                 std::string detail)
+{
+    if (!tracer)
+        return;
+    TraceEvent e;
+    e.kind = kind;
+    e.cycle = _cycle;
+    e.thread = thread;
+    e.fu = fu;
+    e.detail = std::move(detail);
+    tracer(e);
+}
+
+void
+Simulator::executeIssue(const IssueDecision& d)
+{
+    ThreadContext& t = *threads[d.threadIndex];
+    const auto& slot = t.currentInstruction().slots[d.slot];
+    const Operation& op = slot.op;
+    const FuState& fu = fus[d.fu];
+
+    const std::vector<Value> srcs = readSources(t, op);
+
+    // Issue clears the destination presence bits.
+    for (const auto& dst : op.dsts)
+        t.regs().clearValid(dst);
+
+    switch (op.opcode) {
+      case Opcode::LD: {
+        const std::int64_t addr = srcs[0].asInt() + srcs[1].asInt();
+        if (addr < 0)
+            throw SimError(strCat("negative load address ", addr,
+                                  " in thread ", t.id()));
+        mem->issueLoad(_cycle, t.id(),
+                       static_cast<std::uint32_t>(addr), op.flavor,
+                       op.dsts, fu.cluster);
+        break;
+      }
+      case Opcode::ST: {
+        const std::int64_t addr = srcs[0].asInt() + srcs[1].asInt();
+        if (addr < 0)
+            throw SimError(strCat("negative store address ", addr,
+                                  " in thread ", t.id()));
+        mem->issueStore(_cycle, t.id(),
+                        static_cast<std::uint32_t>(addr), op.flavor,
+                        srcs[2]);
+        break;
+      }
+      case Opcode::BR:
+        t.setBranch(true, op.branchTarget, _cycle + fu.latency - 1);
+        break;
+      case Opcode::BT:
+        t.setBranch(srcs[0].truthy(), op.branchTarget,
+                    _cycle + fu.latency - 1);
+        break;
+      case Opcode::BF:
+        t.setBranch(!srcs[0].truthy(), op.branchTarget,
+                    _cycle + fu.latency - 1);
+        break;
+      case Opcode::FORK: {
+        PendingSpawn ps;
+        ps.readyCycle = _cycle + fu.latency;
+        ps.forkTarget = op.forkTarget;
+        ps.args = srcs;
+        pendingSpawns.push_back(std::move(ps));
+        break;
+      }
+      case Opcode::ETHR:
+        t.setEnd(_cycle + fu.latency - 1);
+        break;
+      case Opcode::MARK:
+        _stats.marks.push_back({t.id(), op.markId, _cycle});
+        break;
+      case Opcode::NOP:
+        break;
+      default: {
+        // Register-writing ALU operation: result flows down the
+        // pipeline and is written back after the unit latency.
+        InFlightResult r;
+        r.completeCycle = _cycle + fu.latency;
+        r.thread = t.id();
+        r.srcCluster = fu.cluster;
+        r.dsts = op.dsts;
+        r.value = evalAlu(op.opcode, srcs);
+        inFlight.push_back(std::move(r));
+        break;
+      }
+    }
+
+    trace(TraceEvent::Kind::Issue, t.id(), d.fu, op.toString());
+
+    t.markIssued(d.slot);
+    t.noteIssue(_cycle);
+    ++_stats.opsByFu[d.fu];
+    ++_stats.opsByUnit[static_cast<int>(fu.type)];
+    ++_stats.totalOps;
+    progressThisCycle = true;
+}
+
+void
+Simulator::doWriteback()
+{
+    // Priority: thread id (spawn order), then enqueue order.
+    std::stable_sort(wbQueue.begin(), wbQueue.end(),
+                     [](const WbEntry& a, const WbEntry& b) {
+                         if (a.thread != b.thread)
+                             return a.thread < b.thread;
+                         return a.seq < b.seq;
+                     });
+
+    std::deque<WbEntry> still_waiting;
+    for (auto& e : wbQueue) {
+        if (network.tryGrant(e.srcCluster, e.dst.cluster)) {
+            threads[e.thread]->regs().write(e.dst, e.value);
+            trace(TraceEvent::Kind::Writeback, e.thread, -1,
+                  strCat(e.dst.toString(), " <- ",
+                         e.value.toString()));
+            ++_stats.writebacks;
+            if (e.srcCluster != e.dst.cluster)
+                ++_stats.remoteWrites;
+            progressThisCycle = true;
+        } else {
+            still_waiting.push_back(std::move(e));
+        }
+    }
+    _stats.writebackStallCycles += still_waiting.size();
+    wbQueue = std::move(still_waiting);
+}
+
+bool
+Simulator::finished() const
+{
+    return activeList.empty() && suspended.empty() &&
+           wbQueue.empty() && inFlight.empty() && mem->idle() &&
+           pendingSpawns.empty() && waitingForSlot.empty();
+}
+
+bool
+Simulator::step()
+{
+    if (finished())
+        return false;
+
+    progressThisCycle = false;
+    network.beginCycle();
+
+    // 1. Memory arrivals: completed loads join the writeback queue.
+    for (auto& cl : mem->tick(_cycle)) {
+        trace(TraceEvent::Kind::MemComplete, cl.thread, -1,
+              strCat("load -> ", cl.value.toString()));
+        for (const auto& dst : cl.dsts) {
+            WbEntry e;
+            e.thread = cl.thread;
+            e.dst = dst;
+            e.value = cl.value;
+            e.srcCluster = cl.srcCluster;
+            e.seq = wbSeq++;
+            wbQueue.push_back(std::move(e));
+        }
+        progressThisCycle = true;
+    }
+
+    // 2. Function-unit pipeline completions.
+    for (auto it = inFlight.begin(); it != inFlight.end();) {
+        if (it->completeCycle <= _cycle) {
+            for (const auto& dst : it->dsts) {
+                WbEntry e;
+                e.thread = it->thread;
+                e.dst = dst;
+                e.value = it->value;
+                e.srcCluster = it->srcCluster;
+                e.seq = wbSeq++;
+                wbQueue.push_back(std::move(e));
+            }
+            it = inFlight.erase(it);
+            progressThisCycle = true;
+        } else {
+            ++it;
+        }
+    }
+
+    // 3. Writeback arbitration over the unit interconnection network.
+    doWriteback();
+
+    // 4. Issue: each function unit independently selects one ready
+    //    pending operation. Selection uses a frozen view of the
+    //    presence bits (all issue decisions are simultaneous); the
+    //    effects are applied afterwards.
+    std::vector<IssueDecision> decisions;
+    const bool round_robin =
+        machine.arbitration == config::ArbitrationPolicy::RoundRobin;
+    for (std::size_t fu = 0; fu < fus.size(); ++fu) {
+        // Threads are scanned in priority (spawn) order — activeList
+        // is maintained sorted by thread id — or, under round-robin,
+        // starting just past the unit's last-served thread.
+        const std::size_t n = activeList.size();
+        std::size_t start = 0;
+        if (round_robin && n > 0) {
+            while (start < n &&
+                   activeList[start] <= rrLastThread[fu])
+                ++start;
+            if (start == n)
+                start = 0;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+            const int ti = activeList[(start + k) % n];
+            ThreadContext& t = *threads[ti];
+            const auto& inst = t.currentInstruction();
+            bool taken = false;
+            for (std::size_t s = 0; s < inst.slots.size(); ++s) {
+                if (inst.slots[s].fu != fu || t.slotIssued(s))
+                    continue;
+                // Operand check first: fetching a line for an
+                // operation that cannot issue anyway would evict
+                // lines other threads are about to use.
+                if (operandsReady(t, inst.slots[s].op) &&
+                    opCaches.present(static_cast<int>(fu),
+                                     t.codeIndex(),
+                                     static_cast<std::uint32_t>(
+                                         t.ip()),
+                                     _cycle)) {
+                    decisions.push_back({static_cast<int>(fu),
+                                         static_cast<int>(ti), s});
+                    taken = true;
+                    rrLastThread[fu] = ti;
+                }
+                break;  // at most one op per (thread, fu) per row
+            }
+            if (taken)
+                break;  // unit granted to this thread this cycle
+        }
+    }
+    for (const auto& d : decisions)
+        executeIssue(d);
+
+    // 5. End of cycle: retire/advance threads, activate spawns.
+    bool freed_slot = false;
+    for (int ti : activeList) {
+        if (threads[ti]->endOfCycle(_cycle)) {
+            trace(TraceEvent::Kind::Retire, ti, -1,
+                  threads[ti]->code().name);
+            progressThisCycle = true;
+            freed_slot = true;
+        }
+    }
+    std::erase_if(activeList, [&](int ti) {
+        return threads[ti]->state() != ThreadState::Active;
+    });
+    if (freed_slot)
+        manageActiveSet();
+    // A FORK issued at cycle t with unit latency L yields a child able
+    // to issue from cycle t + L; spawning at the end of cycle t + L - 1
+    // achieves that.
+    for (auto it = pendingSpawns.begin(); it != pendingSpawns.end();) {
+        if (it->readyCycle > _cycle + 1) {
+            ++it;
+            continue;
+        }
+        if (machine.maxActiveThreads > 0 &&
+                activeThreads() >= machine.maxActiveThreads) {
+            waitingForSlot.push_back(std::move(*it));
+        } else {
+            spawnThread(it->forkTarget, it->args);
+        }
+        it = pendingSpawns.erase(it);
+    }
+
+    manageActiveSet();
+
+    _stats.peakActiveThreads =
+        std::max(_stats.peakActiveThreads, activeThreads());
+
+    ++_cycle;
+    if (progressThisCycle)
+        lastProgressCycle = _cycle;
+    checkDeadlock();
+    return true;
+}
+
+void
+Simulator::manageActiveSet()
+{
+    // Fill free slots: suspended threads resume first (they hold
+    // partial state), then queued spawns, in FIFO order.
+    auto has_slot = [&] {
+        return machine.maxActiveThreads == 0 ||
+               activeThreads() < machine.maxActiveThreads;
+    };
+    while (has_slot() && !suspended.empty()) {
+        const int ti = suspended.front();
+        suspended.pop_front();
+        threads[ti]->noteIssue(_cycle);  // fresh idle clock
+        activeList.push_back(ti);
+        std::sort(activeList.begin(), activeList.end());
+        trace(TraceEvent::Kind::Spawn, ti, -1,
+              strCat(threads[ti]->code().name, " (resumed)"));
+        progressThisCycle = true;
+    }
+    while (has_slot() && !waitingForSlot.empty()) {
+        PendingSpawn ps = std::move(waitingForSlot.front());
+        waitingForSlot.pop_front();
+        spawnThread(ps.forkTarget, ps.args);
+    }
+
+    // Idle swap-out: a resident thread that has issued nothing for
+    // the configured window gives up its slot when others wait.
+    if (machine.swapOutIdleCycles <= 0 ||
+            machine.maxActiveThreads <= 0)
+        return;
+    const bool someone_waits =
+        !waitingForSlot.empty() || !suspended.empty();
+    if (!someone_waits)
+        return;
+    for (auto it = activeList.begin(); it != activeList.end();) {
+        ThreadContext& t = *threads[*it];
+        const bool idle =
+            _cycle - t.lastIssueCycle() >
+            static_cast<std::uint64_t>(machine.swapOutIdleCycles);
+        if (idle) {
+            trace(TraceEvent::Kind::Retire, *it, -1,
+                  strCat(t.code().name, " (swapped out)"));
+            suspended.push_back(*it);
+            it = activeList.erase(it);
+            progressThisCycle = true;
+            // Refill the freed slot immediately with a queued spawn;
+            // suspended threads resume on the next manage pass, so a
+            // swap never bounces a thread straight back in.
+            if (!waitingForSlot.empty()) {
+                PendingSpawn ps = std::move(waitingForSlot.front());
+                waitingForSlot.pop_front();
+                spawnThread(ps.forkTarget, ps.args);
+            }
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Simulator::checkDeadlock()
+{
+    if (finished() || progressThisCycle)
+        return;
+    if (_cycle - lastProgressCycle >
+            static_cast<std::uint64_t>(machine.deadlockCycleLimit))
+        reportDeadlock();
+}
+
+void
+Simulator::reportDeadlock()
+{
+    std::string s = strCat("deadlock at cycle ", _cycle, ": ");
+    s += strCat(mem->parkedCount(), " parked memory reference(s); ");
+    for (const auto& t : threads) {
+        if (t->state() != ThreadState::Active)
+            continue;
+        s += strCat("[thread ", t->id(), " '", t->code().name,
+                    "' ip=", t->ip());
+        const auto& inst = t->currentInstruction();
+        for (std::size_t i = 0; i < inst.slots.size(); ++i) {
+            if (t->slotIssued(i))
+                continue;
+            s += strCat(" waiting:", inst.slots[i].op.toString());
+        }
+        s += "] ";
+    }
+    throw SimError(s);
+}
+
+RunStats
+Simulator::run()
+{
+    while (step()) {
+    }
+    return stats();
+}
+
+RunStats
+Simulator::stats() const
+{
+    RunStats out = _stats;
+    out.cycles = _cycle;
+    const auto& ms = mem->stats();
+    out.memAccesses = ms.accesses;
+    out.memHits = ms.hits;
+    out.memMisses = ms.misses;
+    out.memParked = ms.parked;
+    out.memParkedCycles = ms.parkedCycles;
+    out.opCacheHits = opCaches.stats().hits;
+    out.opCacheMisses = opCaches.stats().misses;
+
+    out.threads.clear();
+    for (const auto& t : threads) {
+        ThreadStats ts;
+        ts.name = t->code().name;
+        ts.spawnCycle = t->spawnCycle();
+        ts.endCycle = t->endCycle();
+        ts.opsIssued = t->opsIssued();
+        out.threads.push_back(ts);
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace procoup

@@ -1,0 +1,181 @@
+#ifndef PROCOUP_SIM_SIMULATOR_HH
+#define PROCOUP_SIM_SIMULATOR_HH
+
+/**
+ * @file
+ * Cycle-level simulator of a processor-coupled node.
+ *
+ * Each cycle:
+ *   1. memory arrivals complete (loads join the writeback queue);
+ *   2. function-unit pipelines deliver results into the writeback queue;
+ *   3. the writeback queue arbitrates for register-file ports/buses
+ *      (interconnect scheme) and applies granted writes;
+ *   4. every function unit independently selects one ready pending
+ *      operation among the active threads (fixed priority = spawn
+ *      order) and issues it — "ALUs are assigned to threads on a cycle
+ *      by cycle basis";
+ *   5. threads whose issue window drained advance their instruction
+ *      pointer; FORKs spawn, ETHRs retire, deadlock is checked.
+ *
+ * The simulator is functional (exact values) but cycle-accurate in the
+ * paper's sense: it counts cycles, operations, and unit utilization.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "procoup/config/machine.hh"
+#include "procoup/isa/program.hh"
+#include "procoup/sim/interconnect.hh"
+#include "procoup/sim/memory.hh"
+#include "procoup/sim/opcache.hh"
+#include "procoup/sim/stats.hh"
+#include "procoup/sim/thread.hh"
+#include "procoup/sim/trace.hh"
+
+namespace procoup {
+namespace sim {
+
+/** Executes one compiled program on one machine configuration. */
+class Simulator
+{
+  public:
+    /**
+     * Bind a program to a machine. The program is validated against
+     * the machine first; the entry thread is spawned at cycle 0.
+     */
+    Simulator(const config::MachineConfig& machine,
+              const isa::Program& program);
+
+    ~Simulator();
+
+    /** Run to completion. @throws SimError on deadlock. */
+    RunStats run();
+
+    /**
+     * Execute one cycle.
+     * @return false when the machine is quiescent (nothing ran)
+     */
+    bool step();
+
+    /** True once all threads retired and all traffic drained. */
+    bool finished() const;
+
+    /** Cycles executed so far. */
+    std::uint64_t cycle() const { return _cycle; }
+
+    /** Results and synchronization state readback for harnesses. */
+    const MemorySystem& memory() const { return *mem; }
+    MemorySystem& memory() { return *mem; }
+
+    /** Statistics accumulated so far (finalized copy). */
+    RunStats stats() const;
+
+    /** Number of currently active threads. */
+    int activeThreads() const;
+
+    /** Install (or clear, with nullptr) a trace sink. */
+    void setTracer(TraceFn fn) { tracer = std::move(fn); }
+
+  private:
+    struct FuState
+    {
+        int cluster = 0;
+        isa::UnitType type = isa::UnitType::Integer;
+        int latency = 1;
+    };
+
+    /** An ALU result travelling down a function-unit pipeline. */
+    struct InFlightResult
+    {
+        std::uint64_t completeCycle = 0;
+        int thread = 0;
+        int srcCluster = 0;
+        std::vector<isa::RegRef> dsts;
+        isa::Value value;
+    };
+
+    /** A register write waiting for interconnect resources. */
+    struct WbEntry
+    {
+        int thread = 0;
+        isa::RegRef dst;
+        isa::Value value;
+        int srcCluster = 0;
+        std::uint64_t seq = 0;       ///< age for FIFO tie-breaking
+    };
+
+    /** A FORK waiting for its activation cycle (and a free slot). */
+    struct PendingSpawn
+    {
+        std::uint64_t readyCycle = 0;
+        std::uint32_t forkTarget = 0;
+        std::vector<isa::Value> args;
+    };
+
+    /** An issue decision made in the selection pass. */
+    struct IssueDecision
+    {
+        int fu = 0;
+        int threadIndex = 0;
+        std::size_t slot = 0;
+    };
+
+    void spawnThread(std::uint32_t fork_target,
+                     const std::vector<isa::Value>& args);
+    bool operandsReady(const ThreadContext& t,
+                       const isa::Operation& op) const;
+    std::vector<isa::Value> readSources(const ThreadContext& t,
+                                        const isa::Operation& op) const;
+    void trace(TraceEvent::Kind kind, int thread, int fu,
+               std::string detail);
+    void executeIssue(const IssueDecision& d);
+    void doWriteback();
+    void manageActiveSet();
+    void checkDeadlock();
+    [[noreturn]] void reportDeadlock();
+
+    config::MachineConfig machine;
+
+    /** Owned copy: the simulator outlives any caller temporary. */
+    isa::Program program;
+
+    std::vector<FuState> fus;
+
+    /** Per-unit last-served thread id (round-robin arbitration). */
+    std::vector<int> rrLastThread;
+
+    std::unique_ptr<MemorySystem> mem;
+    WritebackNetwork network;
+    OpCaches opCaches;
+
+    std::vector<std::unique_ptr<ThreadContext>> threads;
+
+    /** Ids of Active threads, ascending (scan order = priority). */
+    std::vector<int> activeList;
+
+    std::deque<PendingSpawn> pendingSpawns;
+    std::deque<PendingSpawn> waitingForSlot;  ///< maxActiveThreads queue
+
+    /** Threads suspended by idle swap-out, FIFO resume order. */
+    std::deque<int> suspended;
+
+    std::vector<InFlightResult> inFlight;
+    std::deque<WbEntry> wbQueue;
+    std::uint64_t wbSeq = 0;
+
+    std::uint64_t _cycle = 0;
+    std::uint64_t lastProgressCycle = 0;
+    bool progressThisCycle = false;
+
+    TraceFn tracer;
+
+    RunStats _stats;
+};
+
+} // namespace sim
+} // namespace procoup
+
+#endif // PROCOUP_SIM_SIMULATOR_HH

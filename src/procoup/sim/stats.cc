@@ -1,0 +1,57 @@
+#include "procoup/sim/stats.hh"
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace sim {
+
+double
+RunStats::utilization(isa::UnitType t) const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(opsByUnit[static_cast<int>(t)]) /
+           static_cast<double>(cycles);
+}
+
+double
+RunStats::fuUtilization(int fu) const
+{
+    if (cycles == 0 || fu < 0 ||
+            fu >= static_cast<int>(opsByFu.size()))
+        return 0.0;
+    return static_cast<double>(opsByFu[fu]) /
+           static_cast<double>(cycles);
+}
+
+std::vector<std::uint64_t>
+RunStats::markCycles(int thread, std::int64_t id) const
+{
+    std::vector<std::uint64_t> out;
+    for (const auto& m : marks)
+        if (m.thread == thread && m.id == id)
+            out.push_back(m.cycle);
+    return out;
+}
+
+std::string
+RunStats::summary() const
+{
+    std::string s = strCat("cycles: ", cycles, ", ops: ", totalOps, "\n");
+    for (int t = 0; t < isa::numUnitTypes; ++t) {
+        const auto ut = static_cast<isa::UnitType>(t);
+        s += strCat("  ", unitTypeName(ut), ": ", opsByUnit[t], " ops, ",
+                    fixed(utilization(ut), 2), " ops/cycle\n");
+    }
+    s += strCat("  memory: ", memAccesses, " accesses (", memHits,
+                " hits, ", memMisses, " misses, ", memParked,
+                " parked)\n");
+    s += strCat("  writebacks: ", writebacks, " (", remoteWrites,
+                " remote, ", writebackStallCycles, " stall cycles)\n");
+    s += strCat("  threads: ", threadsSpawned, " spawned, peak active ",
+                peakActiveThreads, "\n");
+    return s;
+}
+
+} // namespace sim
+} // namespace procoup

@@ -1,0 +1,97 @@
+#ifndef PROCOUP_SIM_STATS_HH
+#define PROCOUP_SIM_STATS_HH
+
+/**
+ * @file
+ * Simulation statistics. The paper's simulator "generates statistics
+ * including dynamic cycle count, operation count, and function unit
+ * utilization"; we additionally record memory, interconnect, and
+ * per-thread detail plus MARK events used by the interference study
+ * (Table 3).
+ */
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "procoup/isa/opcode.hh"
+
+namespace procoup {
+namespace sim {
+
+/** A MARK operation executed: (thread, mark id, cycle). */
+struct MarkEvent
+{
+    int thread = 0;
+    std::int64_t id = 0;
+    std::uint64_t cycle = 0;
+};
+
+/** Per-thread summary. */
+struct ThreadStats
+{
+    std::string name;
+    std::uint64_t spawnCycle = 0;
+    std::uint64_t endCycle = 0;
+    std::uint64_t opsIssued = 0;
+};
+
+/** Aggregate results of one simulation run. */
+struct RunStats
+{
+    /** Total cycles until all threads completed and all traffic drained. */
+    std::uint64_t cycles = 0;
+
+    /** Operations issued, by function-unit class. */
+    std::array<std::uint64_t, isa::numUnitTypes> opsByUnit{};
+
+    /** Operations issued, by individual function unit (global index). */
+    std::vector<std::uint64_t> opsByFu;
+
+    /** Dynamic operation count (all classes). */
+    std::uint64_t totalOps = 0;
+
+    /** Memory system counters. */
+    std::uint64_t memAccesses = 0;
+    std::uint64_t memHits = 0;
+    std::uint64_t memMisses = 0;
+    std::uint64_t memParked = 0;       ///< references that had to wait
+    std::uint64_t memParkedCycles = 0; ///< total cycles spent parked
+
+    /** Operation-cache counters (zero with the paper's perfect
+     *  operation caches). */
+    std::uint64_t opCacheHits = 0;
+    std::uint64_t opCacheMisses = 0;
+
+    /** Writeback interconnect counters. */
+    std::uint64_t writebacks = 0;
+    std::uint64_t writebackStallCycles = 0; ///< entry-cycles spent queued
+    std::uint64_t remoteWrites = 0;         ///< cross-cluster writebacks
+
+    /** Threads spawned over the run. */
+    std::uint64_t threadsSpawned = 0;
+    int peakActiveThreads = 0;
+
+    std::vector<ThreadStats> threads;
+    std::vector<MarkEvent> marks;
+
+    /** Average operations per cycle for a unit class (paper's
+     *  "utilization"): e.g. 2.19 means 2.19 FP ops issued per cycle
+     *  summed over all FPUs. */
+    double utilization(isa::UnitType t) const;
+
+    /** Average operations per cycle on one function unit. */
+    double fuUtilization(int fu) const;
+
+    /** MARK cycles for (thread, id), in execution order. */
+    std::vector<std::uint64_t> markCycles(int thread, std::int64_t id) const;
+
+    std::string summary() const;
+};
+
+} // namespace sim
+} // namespace procoup
+
+#endif // PROCOUP_SIM_STATS_HH

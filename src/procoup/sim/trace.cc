@@ -1,0 +1,30 @@
+#include "procoup/sim/trace.hh"
+
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace sim {
+
+std::string
+TraceEvent::toString() const
+{
+    const char* k = nullptr;
+    switch (kind) {
+      case Kind::Issue:       k = "issue"; break;
+      case Kind::Writeback:   k = "wb"; break;
+      case Kind::MemComplete: k = "mem"; break;
+      case Kind::Spawn:       k = "spawn"; break;
+      case Kind::Retire:      k = "retire"; break;
+    }
+    PROCOUP_ASSERT(k != nullptr, "bad TraceEvent kind");
+    std::string s = strCat("[", cycle, "] t", thread, " ", k);
+    if (fu >= 0)
+        s += strCat(" fu", fu);
+    if (!detail.empty())
+        s += strCat(" ", detail);
+    return s;
+}
+
+} // namespace sim
+} // namespace procoup

@@ -1,0 +1,46 @@
+#ifndef PROCOUP_SIM_TRACE_HH
+#define PROCOUP_SIM_TRACE_HH
+
+/**
+ * @file
+ * Cycle-by-cycle tracing. A TraceFn installed on a Simulator receives
+ * one event per issue, register writeback, memory completion, thread
+ * spawn, and thread retirement — the raw material for pipeline
+ * diagrams like the paper's Figure 1.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace procoup {
+namespace sim {
+
+/** One traced simulator event. */
+struct TraceEvent
+{
+    enum class Kind
+    {
+        Issue,       ///< operation issued on a function unit
+        Writeback,   ///< register write granted through the network
+        MemComplete, ///< memory reference completed (loads)
+        Spawn,       ///< thread entered the active set
+        Retire,      ///< thread left the active set
+    };
+
+    Kind kind = Kind::Issue;
+    std::uint64_t cycle = 0;
+    int thread = -1;
+    int fu = -1;       ///< Issue only
+    std::string detail;
+
+    std::string toString() const;
+};
+
+/** Event sink; called synchronously during simulation. */
+using TraceFn = std::function<void(const TraceEvent&)>;
+
+} // namespace sim
+} // namespace procoup
+
+#endif // PROCOUP_SIM_TRACE_HH

@@ -1,0 +1,17 @@
+#include "procoup/support/error.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace procoup {
+namespace detail {
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace procoup

@@ -1,0 +1,58 @@
+#ifndef PROCOUP_SUPPORT_ERROR_HH
+#define PROCOUP_SUPPORT_ERROR_HH
+
+/**
+ * @file
+ * Error reporting primitives.
+ *
+ * Three tiers, following the gem5 convention:
+ *  - panic():      an internal invariant was violated (a bug in this
+ *                  library); aborts the process.
+ *  - CompileError: the user's source program or machine description is
+ *                  malformed; thrown so callers (and tests) can recover.
+ *  - SimError:     the simulated program misbehaved at runtime (deadlock,
+ *                  wild address, ...); thrown with diagnostics attached.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace procoup {
+
+/** Error in user-supplied source code or configuration. */
+class CompileError : public std::runtime_error
+{
+  public:
+    explicit CompileError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Error raised by the simulator for a misbehaving simulated program. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail {
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+} // namespace detail
+
+/** Abort with a message; use only for internal invariant violations. */
+#define PROCOUP_PANIC(msg) \
+    ::procoup::detail::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an internal invariant; aborts with location info on failure. */
+#define PROCOUP_ASSERT(cond, msg)                                   \
+    do {                                                            \
+        if (!(cond))                                                \
+            ::procoup::detail::panicImpl(__FILE__, __LINE__,        \
+                std::string("assertion failed: " #cond " — ") + (msg)); \
+    } while (0)
+
+} // namespace procoup
+
+#endif // PROCOUP_SUPPORT_ERROR_HH

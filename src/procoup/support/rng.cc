@@ -1,0 +1,43 @@
+#include "procoup/support/rng.hh"
+
+#include "procoup/support/error.hh"
+
+namespace procoup {
+
+Rng::Rng(std::uint64_t seed)
+    : state(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545f4914f6cdd1dULL;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    PROCOUP_ASSERT(lo <= hi, "uniformInt with empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::uniformDouble()
+{
+    // 53 bits of mantissa.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformDouble() < p;
+}
+
+} // namespace procoup

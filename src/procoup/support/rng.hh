@@ -1,0 +1,43 @@
+#ifndef PROCOUP_SUPPORT_RNG_HH
+#define PROCOUP_SUPPORT_RNG_HH
+
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * The paper models cache misses statistically ("the number of penalty
+ * cycles is randomly chosen from the penalty range"). To keep every
+ * experiment reproducible we use a self-contained xorshift64* generator
+ * seeded from the machine configuration rather than std::random_device.
+ */
+
+#include <cstdint>
+
+namespace procoup {
+
+/** xorshift64* generator; deterministic across platforms. */
+class Rng
+{
+  public:
+    /** Seed the generator; a zero seed is remapped to a fixed constant. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace procoup
+
+#endif // PROCOUP_SUPPORT_RNG_HH

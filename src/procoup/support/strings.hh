@@ -1,0 +1,54 @@
+#ifndef PROCOUP_SUPPORT_STRINGS_HH
+#define PROCOUP_SUPPORT_STRINGS_HH
+
+/**
+ * @file
+ * Small string helpers shared across the library. libstdc++ 12 lacks
+ * std::format, so strCat() is the local replacement for building
+ * diagnostics.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace procoup {
+
+namespace detail {
+
+inline void
+strCatInto(std::ostringstream&)
+{}
+
+template <typename T, typename... Rest>
+void
+strCatInto(std::ostringstream& os, const T& head, const Rest&... rest)
+{
+    os << head;
+    strCatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Concatenate any streamable values into a string. */
+template <typename... Args>
+std::string
+strCat(const Args&... args)
+{
+    std::ostringstream os;
+    detail::strCatInto(os, args...);
+    return os.str();
+}
+
+/** Split @p s on @p sep; empty fields are kept. */
+std::vector<std::string> split(const std::string& s, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string& s);
+
+/** Format a double with a fixed number of decimals (for table output). */
+std::string fixed(double v, int decimals);
+
+} // namespace procoup
+
+#endif // PROCOUP_SUPPORT_STRINGS_HH

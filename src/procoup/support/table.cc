@@ -1,0 +1,68 @@
+#include "procoup/support/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace procoup {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    Row r;
+    r.cells = std::move(cells);
+    rows.insert(rows.begin(), r);
+    Row sep;
+    sep.is_separator = true;
+    rows.insert(rows.begin() + 1, sep);
+    hasHeader = true;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    Row r;
+    r.cells = std::move(cells);
+    rows.push_back(r);
+}
+
+void
+TextTable::separator()
+{
+    Row sep;
+    sep.is_separator = true;
+    rows.push_back(sep);
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t ncols = 0;
+    for (const auto& r : rows)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<std::size_t> width(ncols, 0);
+    for (const auto& r : rows)
+        for (std::size_t c = 0; c < r.cells.size(); ++c)
+            width[c] = std::max(width[c], r.cells[c].size());
+
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+
+    std::ostringstream os;
+    for (const auto& r : rows) {
+        if (r.is_separator) {
+            os << std::string(total, '-') << '\n';
+            continue;
+        }
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string& cell =
+                c < r.cells.size() ? r.cells[c] : std::string();
+            os << cell << std::string(width[c] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace procoup

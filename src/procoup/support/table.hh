@@ -1,0 +1,44 @@
+#ifndef PROCOUP_SUPPORT_TABLE_HH
+#define PROCOUP_SUPPORT_TABLE_HH
+
+/**
+ * @file
+ * Plain-text table formatter used by the experiment harnesses to print
+ * paper-style tables (Table 2, Table 3, and the figure data series).
+ */
+
+#include <string>
+#include <vector>
+
+namespace procoup {
+
+/** Accumulates rows of cells and renders them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render the table; every column is padded to its widest cell. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+
+    std::vector<Row> rows;
+    bool hasHeader = false;
+};
+
+} // namespace procoup
+
+#endif // PROCOUP_SUPPORT_TABLE_HH

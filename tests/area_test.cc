@@ -1,0 +1,63 @@
+/** @file Tests for the Section 6 area model. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/config/area.hh"
+#include "procoup/config/presets.hh"
+
+namespace procoup {
+namespace {
+
+using config::estimateArea;
+using config::InterconnectScheme;
+
+double
+relativeArea(InterconnectScheme s)
+{
+    const double full = estimateArea(config::baseline()).total();
+    return estimateArea(
+               config::withInterconnect(config::baseline(), s))
+               .total() /
+           full;
+}
+
+TEST(AreaModel, SchemesOrderByConnectivity)
+{
+    // More connectivity costs more silicon, monotonically.
+    EXPECT_GT(relativeArea(InterconnectScheme::Full), 0.99);
+    EXPECT_GT(relativeArea(InterconnectScheme::Full),
+              relativeArea(InterconnectScheme::TriPort));
+    EXPECT_GT(relativeArea(InterconnectScheme::TriPort),
+              relativeArea(InterconnectScheme::DualPort));
+    EXPECT_GT(relativeArea(InterconnectScheme::DualPort),
+              relativeArea(InterconnectScheme::SinglePort));
+}
+
+TEST(AreaModel, TriPortNearThePapersQuote)
+{
+    // "the interconnection and register file area for Tri-Port is 28%
+    // that of complete connection" — a first-order model should land
+    // in the right neighbourhood.
+    const double rel = relativeArea(InterconnectScheme::TriPort);
+    EXPECT_GT(rel, 0.15);
+    EXPECT_LT(rel, 0.40);
+}
+
+TEST(AreaModel, ScalesWithRegistersAndWidth)
+{
+    const auto m = config::baseline();
+    const double small = estimateArea(m, 32, 32).total();
+    const double large = estimateArea(m, 64, 64).total();
+    EXPECT_GT(large, 2.0 * small);
+}
+
+TEST(AreaModel, BusAreaDominatedByFullScheme)
+{
+    const auto full = estimateArea(config::baseline());
+    const auto shared = estimateArea(config::withInterconnect(
+        config::baseline(), InterconnectScheme::SharedBus));
+    EXPECT_GT(full.busArea, 10.0 * shared.busArea);
+}
+
+} // namespace
+} // namespace procoup

@@ -1,0 +1,122 @@
+/** @file Integration tests: the paper's benchmark suite computes
+ *  correct results in every simulation mode, and the headline
+ *  qualitative relationships of the evaluation hold. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace {
+
+using core::CoupledNode;
+using core::SimMode;
+
+struct BenchModeCase
+{
+    const char* bench;
+    SimMode mode;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<BenchModeCase>& info)
+{
+    return std::string(info.param.bench) + "_" +
+           core::simModeName(info.param.mode);
+}
+
+class BenchmarkCorrectness
+    : public ::testing::TestWithParam<BenchModeCase>
+{};
+
+TEST_P(BenchmarkCorrectness, ComputesReferenceResult)
+{
+    const auto& p = GetParam();
+    const auto& bench = benchmarks::byName(p.bench);
+    CoupledNode node(config::baseline());
+    const auto run = node.runBenchmark(bench, p.mode);
+    std::string why;
+    EXPECT_TRUE(benchmarks::verify(p.bench, run, &why)) << why;
+    EXPECT_GT(run.stats.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, BenchmarkCorrectness,
+    ::testing::Values(
+        BenchModeCase{"Matrix", SimMode::Seq},
+        BenchModeCase{"Matrix", SimMode::Sts},
+        BenchModeCase{"Matrix", SimMode::Tpe},
+        BenchModeCase{"Matrix", SimMode::Coupled},
+        BenchModeCase{"Matrix", SimMode::Ideal},
+        BenchModeCase{"FFT", SimMode::Seq},
+        BenchModeCase{"FFT", SimMode::Sts},
+        BenchModeCase{"FFT", SimMode::Tpe},
+        BenchModeCase{"FFT", SimMode::Coupled},
+        BenchModeCase{"FFT", SimMode::Ideal},
+        BenchModeCase{"LUD", SimMode::Seq},
+        BenchModeCase{"LUD", SimMode::Sts},
+        BenchModeCase{"LUD", SimMode::Tpe},
+        BenchModeCase{"LUD", SimMode::Coupled},
+        BenchModeCase{"Model", SimMode::Seq},
+        BenchModeCase{"Model", SimMode::Sts},
+        BenchModeCase{"Model", SimMode::Tpe},
+        BenchModeCase{"Model", SimMode::Coupled}),
+    caseName);
+
+TEST(BenchmarkSuite, LudAndModelHaveNoIdealVersion)
+{
+    EXPECT_FALSE(benchmarks::lud().hasIdeal());
+    EXPECT_FALSE(benchmarks::model().hasIdeal());
+    EXPECT_THROW(benchmarks::lud().forMode(SimMode::Ideal),
+                 CompileError);
+}
+
+TEST(BenchmarkSuite, QualitativeShape)
+{
+    // The paper's headline relationships (Table 2): STS beats SEQ,
+    // Coupled beats STS, Ideal is the lower bound, and Coupled is
+    // within noise of the best mode on every benchmark.
+    CoupledNode node(config::baseline());
+    for (const auto& bench : benchmarks::all()) {
+        SCOPED_TRACE(bench.name);
+        const auto seq = node.runBenchmark(bench, SimMode::Seq);
+        const auto sts = node.runBenchmark(bench, SimMode::Sts);
+        const auto coupled =
+            node.runBenchmark(bench, SimMode::Coupled);
+        EXPECT_LT(sts.stats.cycles, seq.stats.cycles);
+        EXPECT_LT(coupled.stats.cycles, sts.stats.cycles);
+        if (bench.hasIdeal()) {
+            const auto ideal =
+                node.runBenchmark(bench, SimMode::Ideal);
+            EXPECT_LT(ideal.stats.cycles, coupled.stats.cycles);
+        }
+    }
+}
+
+TEST(BenchmarkSuite, CoupledMatchesOrBeatsTpe)
+{
+    // TPE ~= Coupled on the easily partitioned benchmarks; FFT's
+    // sequential section makes TPE lose clearly (the paper's key
+    // observation).
+    CoupledNode node(config::baseline());
+    const auto& fft = benchmarks::byName("FFT");
+    const auto tpe = node.runBenchmark(fft, SimMode::Tpe);
+    const auto coupled = node.runBenchmark(fft, SimMode::Coupled);
+    EXPECT_LT(coupled.stats.cycles, tpe.stats.cycles);
+}
+
+TEST(BenchmarkSuite, RunsAreDeterministic)
+{
+    CoupledNode node(config::withMem1(config::baseline()));
+    const auto& bench = benchmarks::byName("Matrix");
+    const auto a = node.runBenchmark(bench, SimMode::Coupled);
+    const auto b = node.runBenchmark(bench, SimMode::Coupled);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.totalOps, b.stats.totalOps);
+}
+
+} // namespace
+} // namespace procoup

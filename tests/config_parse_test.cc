@@ -1,0 +1,139 @@
+/** @file Tests for the machine-description parser. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/config/parse.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace {
+
+using config::parseMachine;
+
+TEST(ConfigParse, FullDescription)
+{
+    const auto m = parseMachine(R"(
+        (machine testbox
+          (cluster (iu 1) (fpu 4) (mem 2))
+          (cluster (iu 1) (mem 1))
+          (cluster (br 1))
+          (interconnect tri-port)
+          (memory :hit 2 :miss-rate 0.05 :penalty 20 100
+                  :banks 8 :seed 7 :bank-conflicts)
+          (max-active-threads 16))
+    )");
+    EXPECT_EQ(m.name, "testbox");
+    ASSERT_EQ(m.clusters.size(), 3u);
+    EXPECT_EQ(m.clusters[0].units.size(), 3u);
+    EXPECT_EQ(m.clusters[0].units[1].type, isa::UnitType::Float);
+    EXPECT_EQ(m.clusters[0].units[1].latency, 4);
+    EXPECT_EQ(m.interconnect, config::InterconnectScheme::TriPort);
+    EXPECT_EQ(m.memory.hitLatency, 2);
+    EXPECT_DOUBLE_EQ(m.memory.missRate, 0.05);
+    EXPECT_EQ(m.memory.missPenaltyMax, 100);
+    EXPECT_EQ(m.memory.numBanks, 8);
+    EXPECT_EQ(m.memory.seed, 7u);
+    EXPECT_TRUE(m.memory.modelBankConflicts);
+    EXPECT_EQ(m.maxActiveThreads, 16);
+}
+
+TEST(ConfigParse, DefaultsAreSane)
+{
+    const auto m = parseMachine(
+        "(machine (cluster (iu) (fpu) (mem)) (cluster (br)))");
+    EXPECT_EQ(m.clusters[0].units[0].latency, 1);
+    EXPECT_EQ(m.interconnect, config::InterconnectScheme::Full);
+    EXPECT_DOUBLE_EQ(m.memory.missRate, 0.0);
+    EXPECT_EQ(m.maxActiveThreads, 0);
+}
+
+TEST(ConfigParse, AllInterconnectNames)
+{
+    const char* names[] = {"full", "tri-port", "dual-port",
+                           "single-port", "shared-bus"};
+    for (const char* n : names) {
+        const auto m = parseMachine(strCat(
+            "(machine (cluster (iu) (mem)) (cluster (br))"
+            " (interconnect ", n, "))"));
+        EXPECT_FALSE(
+            config::interconnectSchemeName(m.interconnect).empty());
+    }
+}
+
+TEST(ConfigParse, Rejections)
+{
+    // No clusters.
+    EXPECT_THROW(parseMachine("(machine)"), CompileError);
+    // No branch unit anywhere.
+    EXPECT_THROW(parseMachine("(machine (cluster (iu) (mem)))"),
+                 CompileError);
+    // Unknown unit type.
+    EXPECT_THROW(parseMachine(
+        "(machine (cluster (gpu 1)) (cluster (br)))"), CompileError);
+    // Bad latency.
+    EXPECT_THROW(parseMachine(
+        "(machine (cluster (iu 0)) (cluster (br)))"), CompileError);
+    // Inverted penalty range.
+    EXPECT_THROW(parseMachine(
+        "(machine (cluster (iu) (mem)) (cluster (br))"
+        " (memory :penalty 100 20))"), CompileError);
+    // Miss rate out of range.
+    EXPECT_THROW(parseMachine(
+        "(machine (cluster (iu) (mem)) (cluster (br))"
+        " (memory :miss-rate 1.5))"), CompileError);
+    // Not a machine form.
+    EXPECT_THROW(parseMachine("(cluster (iu))"), CompileError);
+    // Unknown section.
+    EXPECT_THROW(parseMachine(
+        "(machine (cluster (iu) (mem)) (cluster (br)) (bogus))"),
+        CompileError);
+}
+
+TEST(ConfigParse, OpCacheAndSwapSections)
+{
+    const auto m = parseMachine(R"(
+        (machine knobs
+          (cluster (iu) (fpu) (mem))
+          (cluster (br))
+          (opcache :lines 32 :rows-per-line 2 :penalty 6)
+          (max-active-threads 8)
+          (swap-out-idle 24))
+    )");
+    EXPECT_TRUE(m.opCache.enabled);
+    EXPECT_EQ(m.opCache.linesPerUnit, 32);
+    EXPECT_EQ(m.opCache.rowsPerLine, 2);
+    EXPECT_EQ(m.opCache.missPenalty, 6);
+    EXPECT_EQ(m.maxActiveThreads, 8);
+    EXPECT_EQ(m.swapOutIdleCycles, 24);
+
+    EXPECT_THROW(parseMachine(
+        "(machine x (cluster (iu) (mem)) (cluster (br))"
+        " (opcache :lines 0))"), CompileError);
+}
+
+TEST(ConfigParse, ParsedMachineRunsPrograms)
+{
+    // A parsed description is a first-class machine: compile and run.
+    const auto m = parseMachine(R"(
+        (machine two-cluster
+          (cluster (iu 1) (fpu 1) (mem 1))
+          (cluster (iu 1) (fpu 1) (mem 1))
+          (cluster (br 1))
+          (interconnect dual-port))
+    )");
+    core::CoupledNode node(m);
+    const auto run = node.runSource(
+        "(defvar out 0.0)"
+        "(defun main ()"
+        "  (let ((s 0.0))"
+        "    (for (i 0 8) (set s (+ s (float i))))"
+        "    (set out s)))",
+        core::SimMode::Coupled);
+    EXPECT_DOUBLE_EQ(run.value("out"), 28.0);
+}
+
+} // namespace
+} // namespace procoup

@@ -1,0 +1,299 @@
+/** @file Differential property testing: pseudo-random PCL programs
+ *  (data-race-free by construction) must compute identical memory
+ *  contents in every simulation mode, on every machine shape, and
+ *  under every memory/interconnect model. SEQ on the baseline is the
+ *  oracle. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "procoup/config/parse.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/support/rng.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace {
+
+/** Grows a random PCL program. Scalars f0..f2 (float) and n0..n2
+ *  (int) are locals; fa/fb are float arrays, na an int array. All
+ *  array indices are wrapped with mod, so every access is in
+ *  bounds; forall bodies write only their own element of one array
+ *  and never read it, keeping programs deterministic. */
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(std::uint64_t seed) : rng(seed) {}
+
+    std::string
+    generate()
+    {
+        body.clear();
+        depth = 0;
+        const int nstmts = 3 + static_cast<int>(rng.uniformInt(0, 4));
+        for (int i = 0; i < nstmts; ++i)
+            statement();
+
+        std::string prog = strCat(
+            "(defarray fa (", kArr, ") :init-each (* 0.5 i))"
+            "(defarray fb (", kArr, ") :init-each (- 3.0 (* 0.25 i)))"
+            "(defarray na (", kArr, ") :int :init-each (mod (* 7 i) 13))"
+            "(defun main ()"
+            "  (let ((f0 1.5) (f1 -2.0) (f2 0.25)"
+            "        (n0 3) (n1 5) (n2 11))",
+            body, "))");
+        return prog;
+    }
+
+  private:
+    static constexpr int kArr = 12;
+
+    std::string
+    intExpr(int d = 0)
+    {
+        switch (rng.uniformInt(0, d > 2 ? 1 : 5)) {
+          case 0:
+            return strCat(rng.uniformInt(-9, 9));
+          case 1:
+            return strCat("n", rng.uniformInt(0, 2));
+          case 2:
+            return strCat("(+ ", intExpr(d + 1), " ", intExpr(d + 1),
+                          ")");
+          case 3:
+            return strCat("(* ", intExpr(d + 1), " ", intExpr(d + 1),
+                          ")");
+          case 4:
+            return strCat("(- ", intExpr(d + 1), " ", intExpr(d + 1),
+                          ")");
+          default:
+            return strCat("(aref na ", index(), ")");
+        }
+    }
+
+    /** An always-in-bounds index expression. */
+    std::string
+    index()
+    {
+        return strCat("(mod (+ ", kArr, " (mod ", intExpr(2), " ",
+                      kArr, ")) ", kArr, ")");
+    }
+
+    std::string
+    floatExpr(int d = 0)
+    {
+        switch (rng.uniformInt(0, d > 2 ? 2 : 6)) {
+          case 0:
+            return strCat(fixed(rng.uniformDouble() * 4.0 - 2.0, 3));
+          case 1:
+            return strCat("f", rng.uniformInt(0, 2));
+          case 2:
+            return strCat("(float ", intExpr(d + 1), ")");
+          case 3:
+            return strCat("(+ ", floatExpr(d + 1), " ",
+                          floatExpr(d + 1), ")");
+          case 4:
+            return strCat("(* ", floatExpr(d + 1), " ",
+                          floatExpr(d + 1), ")");
+          case 5:
+            return strCat("(- ", floatExpr(d + 1), " ",
+                          floatExpr(d + 1), ")");
+          default:
+            return strCat("(aref ", rng.chance(0.5) ? "fa" : "fb",
+                          " ", index(), ")");
+        }
+    }
+
+    std::string
+    condExpr()
+    {
+        static const char* ops[] = {"<", "<=", "=", "!=", ">", ">="};
+        if (rng.chance(0.5))
+            return strCat("(", ops[rng.uniformInt(0, 5)], " ",
+                          intExpr(1), " ", intExpr(1), ")");
+        return strCat("(", ops[rng.uniformInt(0, 5)], " ",
+                      floatExpr(1), " ", floatExpr(1), ")");
+    }
+
+    void
+    statement()
+    {
+        ++depth;
+        switch (rng.uniformInt(0, depth > 2 ? 2 : 6)) {
+          case 0:
+            body += strCat("(set f", rng.uniformInt(0, 2), " ",
+                           floatExpr(), ")");
+            break;
+          case 1:
+            body += strCat("(set n", rng.uniformInt(0, 2), " ",
+                           intExpr(), ")");
+            break;
+          case 2:
+            body += strCat("(aset ", rng.chance(0.5) ? "fa" : "fb",
+                           " ", index(), " ", floatExpr(), ")");
+            break;
+          case 3: {
+            body += strCat("(if ", condExpr(), " (begin ");
+            statement();
+            body += ") (begin ";
+            statement();
+            body += "))";
+            break;
+          }
+          case 4: {
+            const int trip = static_cast<int>(rng.uniformInt(2, 5));
+            const std::string v = strCat("L", loopVar++);
+            body += strCat("(for (", v, " 0 ", trip, ") (set n",
+                           rng.uniformInt(0, 2), " (+ n",
+                           rng.uniformInt(0, 2), " ", v, "))");
+            statement();
+            body += ")";
+            break;
+          }
+          case 5: {
+            // Race-free forall: each child writes only its own slot
+            // of one array and reads the other one.
+            const bool to_a = rng.chance(0.5);
+            body += strCat("(forall (w 0 ", kArr, ") (aset ",
+                           to_a ? "fa" : "fb", " w (+ (aref ",
+                           to_a ? "fb" : "fa",
+                           " w) (float (* w w)))))");
+            break;
+          }
+          default: {
+            const int trip = static_cast<int>(rng.uniformInt(2, 4));
+            body += strCat("(for (U", loopVar, " 0 ", trip,
+                           " :unroll) ");
+            ++loopVar;
+            statement();
+            body += ")";
+            break;
+          }
+        }
+        --depth;
+    }
+
+    Rng rng;
+    std::string body;
+    int depth = 0;
+    int loopVar = 0;
+};
+
+std::vector<isa::Value>
+runMemory(const config::MachineConfig& machine, const std::string& src,
+          core::SimMode mode)
+{
+    core::CoupledNode node(machine);
+    return node.runSource(src, mode).memory;
+}
+
+void
+expectSameMemory(const std::vector<isa::Value>& a,
+                 const std::vector<isa::Value>& b,
+                 const std::string& label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Compare as doubles: arithmetic order is identical across
+        // modes, so results must match bit-for-bit.
+        ASSERT_EQ(a[i].asFloat(), b[i].asFloat())
+            << label << " at word " << i;
+    }
+}
+
+class DifferentialSeeds : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeeds,
+                         ::testing::Range(1, 13));
+
+TEST_P(DifferentialSeeds, AllModesMatchSeqOracle)
+{
+    ProgramGenerator gen(static_cast<std::uint64_t>(GetParam()));
+    const std::string src = gen.generate();
+    SCOPED_TRACE(src);
+
+    const auto baseline = config::baseline();
+    const auto oracle = runMemory(baseline, src, core::SimMode::Seq);
+
+    for (auto mode : {core::SimMode::Sts, core::SimMode::Tpe,
+                      core::SimMode::Coupled}) {
+        expectSameMemory(oracle, runMemory(baseline, src, mode),
+                         strCat("baseline/", core::simModeName(mode)));
+    }
+}
+
+TEST_P(DifferentialSeeds, MachineShapesMatchSeqOracle)
+{
+    ProgramGenerator gen(static_cast<std::uint64_t>(GetParam()) + 100);
+    const std::string src = gen.generate();
+    SCOPED_TRACE(src);
+
+    const auto oracle =
+        runMemory(config::baseline(), src, core::SimMode::Seq);
+
+    const std::vector<config::MachineConfig> machines = {
+        config::fuMix(2, 3),
+        config::withMem2(config::baseline()),
+        config::withInterconnect(config::baseline(),
+                                 config::InterconnectScheme::SinglePort),
+        config::withInterconnect(config::baseline(),
+                                 config::InterconnectScheme::SharedBus),
+        config::parseMachine(
+            "(machine odd"
+            " (cluster (iu 2) (fpu 3) (mem 1))"
+            " (cluster (iu 1) (fpu 1) (mem 2))"
+            " (cluster (br 2)))"),
+    };
+    for (const auto& m : machines) {
+        expectSameMemory(
+            oracle, runMemory(m, src, core::SimMode::Coupled),
+            strCat(m.name, "/Coupled"));
+    }
+}
+
+TEST_P(DifferentialSeeds, ExtensionKnobsPreserveSemantics)
+{
+    // Round-robin arbitration, operation-cache misses, and a bounded
+    // active set with idle swapping change timing only — never
+    // results.
+    ProgramGenerator gen(static_cast<std::uint64_t>(GetParam()) + 300);
+    const std::string src = gen.generate();
+    SCOPED_TRACE(src);
+
+    const auto oracle =
+        runMemory(config::baseline(), src, core::SimMode::Seq);
+
+    auto rr = config::baseline();
+    rr.arbitration = config::ArbitrationPolicy::RoundRobin;
+
+    auto oc = config::baseline();
+    oc.opCache.enabled = true;
+    oc.opCache.linesPerUnit = 8;
+    oc.opCache.rowsPerLine = 2;
+    oc.opCache.missPenalty = 5;
+
+    auto swap = config::baseline();
+    swap.maxActiveThreads = 3;
+    swap.swapOutIdleCycles = 12;
+
+    for (const auto& m : {rr, oc, swap}) {
+        expectSameMemory(oracle,
+                         runMemory(m, src, core::SimMode::Coupled),
+                         "extension knobs");
+    }
+}
+
+TEST_P(DifferentialSeeds, CyclesAreDeterministicPerMachine)
+{
+    ProgramGenerator gen(static_cast<std::uint64_t>(GetParam()) + 200);
+    const std::string src = gen.generate();
+    const auto m = config::withMem1(config::baseline());
+    core::CoupledNode node(m);
+    const auto a = node.runSource(src, core::SimMode::Coupled);
+    const auto b = node.runSource(src, core::SimMode::Coupled);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+} // namespace
+} // namespace procoup

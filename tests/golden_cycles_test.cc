@@ -1,0 +1,66 @@
+/** @file Golden cycle counts for the baseline machine.
+ *
+ *  The entire system is deterministic, so the Table 2 cycle counts
+ *  are exact regression values. If an intentional compiler/simulator
+ *  change moves them, re-measure with `bench/table2_baseline`, check
+ *  the shape still tracks the paper (EXPERIMENTS.md), and update the
+ *  table below — a diff here should always be a conscious decision,
+ *  never noise. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+
+namespace procoup {
+namespace {
+
+using core::SimMode;
+
+struct Golden
+{
+    const char* bench;
+    SimMode mode;
+    std::uint64_t cycles;
+};
+
+class GoldenCycles : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenCycles, BaselineCycleCountIsStable)
+{
+    const auto& p = GetParam();
+    core::CoupledNode node(config::baseline());
+    const auto run =
+        node.runBenchmark(benchmarks::byName(p.bench), p.mode);
+    EXPECT_EQ(run.stats.cycles, p.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, GoldenCycles,
+    ::testing::Values(
+        Golden{"Matrix", SimMode::Seq, 2020},
+        Golden{"Matrix", SimMode::Sts, 1291},
+        Golden{"Matrix", SimMode::Tpe, 634},
+        Golden{"Matrix", SimMode::Coupled, 618},
+        Golden{"Matrix", SimMode::Ideal, 368},
+        Golden{"FFT", SimMode::Seq, 4367},
+        Golden{"FFT", SimMode::Sts, 2495},
+        Golden{"FFT", SimMode::Tpe, 2877},
+        Golden{"FFT", SimMode::Coupled, 1635},
+        Golden{"FFT", SimMode::Ideal, 219},
+        Golden{"LUD", SimMode::Seq, 81470},
+        Golden{"LUD", SimMode::Sts, 81406},
+        Golden{"LUD", SimMode::Tpe, 46814},
+        Golden{"LUD", SimMode::Coupled, 45527},
+        Golden{"Model", SimMode::Seq, 2920},
+        Golden{"Model", SimMode::Sts, 2520},
+        Golden{"Model", SimMode::Tpe, 1740},
+        Golden{"Model", SimMode::Coupled, 1668}),
+    [](const ::testing::TestParamInfo<Golden>& i) {
+        return std::string(i.param.bench) + "_" +
+               core::simModeName(i.param.mode);
+    });
+
+} // namespace
+} // namespace procoup

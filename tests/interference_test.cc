@@ -1,0 +1,138 @@
+/** @file Regression net for the Table 3 interference phenomena. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/sched/report.hh"
+
+namespace procoup {
+namespace {
+
+using benchmarks::InterferenceSources;
+
+double
+avgIter(const sim::RunStats& stats, int thread)
+{
+    const auto marks =
+        stats.markCycles(thread, InterferenceSources::markIterate);
+    if (marks.size() < 2)
+        return 0.0;
+    return static_cast<double>(marks.back() - marks.front()) /
+           static_cast<double>(marks.size() - 1);
+}
+
+TEST(Interference, StsRunsAtItsStaticScheduleRate)
+{
+    // "In STS mode, there is only one thread, and it runs in the same
+    // number of cycles as the static schedule predicts."
+    const auto sources = benchmarks::modelQueue();
+    core::CoupledNode node(config::baseline());
+    const auto run = node.runSource(sources.sts, core::SimMode::Sts);
+
+    const double iter = avgIter(run.stats, 0);
+    EXPECT_GT(iter, 0.0);
+    // Without contention the iteration rate is constant: every gap
+    // between consecutive marks is identical.
+    const auto marks = run.stats.markCycles(
+        0, InterferenceSources::markIterate);
+    ASSERT_GE(marks.size(), 3u);
+    const auto gap = marks[1] - marks[0];
+    for (std::size_t i = 2; i < marks.size(); ++i)
+        EXPECT_EQ(marks[i] - marks[i - 1], gap) << i;
+}
+
+TEST(Interference, AllDevicesEvaluatedExactlyOnce)
+{
+    const auto sources = benchmarks::modelQueue();
+    core::CoupledNode node(config::baseline());
+    const auto run =
+        node.runSource(sources.coupled, core::SimMode::Coupled);
+
+    int total = 0;
+    for (int w = 1; w <= InterferenceSources::numWorkers; ++w)
+        total += static_cast<int>(
+            run.stats.markCycles(w, InterferenceSources::markIterate)
+                .size());
+    EXPECT_EQ(total, InterferenceSources::numDevices);
+
+    // Every worker made progress and every slot was written.
+    for (int w = 1; w <= InterferenceSources::numWorkers; ++w)
+        EXPECT_GE(run.stats
+                      .markCycles(w, InterferenceSources::markIterate)
+                      .size(),
+                  1u);
+    for (int d = 0; d < InterferenceSources::numDevices; ++d)
+        EXPECT_NE(run.value("qout", d), 0.0) << d;
+}
+
+TEST(Interference, ContentionDilatesIterations)
+{
+    // Four contending workers run each iteration slower than one
+    // worker alone (the paper's dilation beyond the compile-time
+    // schedule), and the highest-priority worker suffers least.
+    const auto sources = benchmarks::modelQueue();
+    core::CoupledNode node(config::baseline());
+    const auto solo =
+        node.runSource(sources.single_worker, core::SimMode::Coupled);
+    const auto coupled =
+        node.runSource(sources.coupled, core::SimMode::Coupled);
+
+    const double schedule = avgIter(solo.stats, 1);
+    ASSERT_GT(schedule, 0.0);
+
+    double worst = 0.0;
+    for (int w = 1; w <= InterferenceSources::numWorkers; ++w) {
+        const double it = avgIter(coupled.stats, w);
+        if (it > 0.0) {
+            EXPECT_GE(it, schedule - 1.0) << "worker " << w;
+            worst = std::max(worst, it);
+        }
+    }
+    EXPECT_GT(worst, schedule);
+
+    const double first = avgIter(coupled.stats, 1);
+    EXPECT_LE(first, worst);
+}
+
+TEST(Interference, AggregateCoupledBeatsSts)
+{
+    // "the multiple threads of Coupled allows evaluations to overlap
+    // such that the aggregate running time is shorter".
+    const auto sources = benchmarks::modelQueue();
+    core::CoupledNode node(config::baseline());
+    const auto sts = node.runSource(sources.sts, core::SimMode::Sts);
+    const auto coupled =
+        node.runSource(sources.coupled, core::SimMode::Coupled);
+    EXPECT_LT(coupled.stats.cycles, sts.stats.cycles);
+}
+
+TEST(Interference, WorkerScheduleReportIsWellFormed)
+{
+    // The schedule report exists for every worker clone and mentions
+    // the take of the queue head.
+    core::CoupledNode node(config::baseline());
+    const auto compiled = node.compile(
+        benchmarks::modelQueue().coupled, core::SimMode::Coupled);
+    const auto machine = config::baseline();
+    int workers = 0;
+    for (const auto& t : compiled.program.threads) {
+        if (t.name.rfind("worker", 0) != 0)
+            continue;
+        ++workers;
+        const std::string report =
+            sched::formatSchedule(t, machine);
+        EXPECT_NE(report.find("ld"), std::string::npos);
+        EXPECT_NE(report.find("ethr"), std::string::npos);
+        EXPECT_NE(report.find("BR"), std::string::npos);
+    }
+    EXPECT_EQ(workers, 4);
+
+    const std::string diag = sched::formatDiagnostics(compiled);
+    EXPECT_NE(diag.find("main"), std::string::npos);
+    EXPECT_NE(diag.find("peak registers"), std::string::npos);
+}
+
+} // namespace
+} // namespace procoup

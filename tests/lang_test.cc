@@ -1,0 +1,119 @@
+/** @file Unit tests for the PCL lexer and parser. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/lang/lexer.hh"
+#include "procoup/lang/parser.hh"
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace {
+
+using lang::Sexpr;
+using lang::Token;
+
+TEST(Lexer, BasicTokens)
+{
+    const auto toks = lang::tokenize("(foo 12 -3 4.5 :bar)");
+    ASSERT_EQ(toks.size(), 8u);  // ( foo 12 -3 4.5 :bar ) END
+    EXPECT_EQ(toks[0].kind, Token::Kind::LParen);
+    EXPECT_EQ(toks[1].kind, Token::Kind::Symbol);
+    EXPECT_EQ(toks[1].text, "foo");
+    EXPECT_EQ(toks[2].kind, Token::Kind::Int);
+    EXPECT_EQ(toks[2].ival, 12);
+    EXPECT_EQ(toks[3].kind, Token::Kind::Int);
+    EXPECT_EQ(toks[3].ival, -3);
+    EXPECT_EQ(toks[4].kind, Token::Kind::Float);
+    EXPECT_DOUBLE_EQ(toks[4].fval, 4.5);
+    EXPECT_EQ(toks[5].text, ":bar");
+    EXPECT_EQ(toks[6].kind, Token::Kind::RParen);
+}
+
+TEST(Lexer, CommentsAndWhitespace)
+{
+    const auto toks = lang::tokenize("; a comment\n  ( a ; mid\n b )");
+    ASSERT_EQ(toks.size(), 5u);
+    EXPECT_EQ(toks[1].text, "a");
+    EXPECT_EQ(toks[2].text, "b");
+}
+
+TEST(Lexer, ScientificNotation)
+{
+    const auto toks = lang::tokenize("1.5e3 2e-2");
+    EXPECT_DOUBLE_EQ(toks[0].fval, 1500.0);
+    EXPECT_DOUBLE_EQ(toks[1].fval, 0.02);
+}
+
+TEST(Lexer, OperatorSymbols)
+{
+    const auto toks = lang::tokenize("(+ - * / < <= != a-b_c)");
+    EXPECT_EQ(toks[1].text, "+");
+    EXPECT_EQ(toks[2].text, "-");
+    EXPECT_EQ(toks[6].text, "<=");
+    EXPECT_EQ(toks[7].text, "!=");
+    EXPECT_EQ(toks[8].text, "a-b_c");
+}
+
+TEST(Lexer, MinusBeforeDigitIsNumber)
+{
+    const auto toks = lang::tokenize("(- 5 -5)");
+    EXPECT_EQ(toks[1].text, "-");
+    EXPECT_EQ(toks[1].kind, Token::Kind::Symbol);
+    EXPECT_EQ(toks[3].ival, -5);
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    const auto toks = lang::tokenize("(a\n  b)");
+    EXPECT_EQ(toks[1].loc.line, 1);
+    EXPECT_EQ(toks[2].loc.line, 2);
+    EXPECT_EQ(toks[2].loc.column, 3);
+}
+
+TEST(Lexer, RejectsBadCharacters)
+{
+    EXPECT_THROW(lang::tokenize("(a #b)"), CompileError);
+}
+
+TEST(Parser, NestedLists)
+{
+    const auto forms = lang::parse("(a (b 1) (c (d 2.5)))");
+    ASSERT_EQ(forms.size(), 1u);
+    const Sexpr& f = forms[0];
+    ASSERT_TRUE(f.isList());
+    EXPECT_EQ(f.size(), 3u);
+    EXPECT_TRUE(f.at(0).isSymbol("a"));
+    EXPECT_TRUE(f.at(1).isCall("b"));
+    EXPECT_EQ(f.at(1).at(1).intValue(), 1);
+    EXPECT_DOUBLE_EQ(f.at(2).at(1).at(1).floatValue(), 2.5);
+}
+
+TEST(Parser, MultipleTopLevelForms)
+{
+    const auto forms = lang::parse("(a) (b) 3");
+    ASSERT_EQ(forms.size(), 3u);
+    EXPECT_TRUE(forms[2].isInt());
+}
+
+TEST(Parser, RoundTripsThroughToString)
+{
+    const std::string src = "(defun f (x) (+ x 1))";
+    const auto forms = lang::parse(src);
+    EXPECT_EQ(forms[0].toString(), src);
+}
+
+TEST(Parser, UnbalancedParensThrow)
+{
+    EXPECT_THROW(lang::parse("(a (b)"), CompileError);
+    EXPECT_THROW(lang::parse("(a))"), CompileError);
+}
+
+TEST(Parser, AtBoundsChecksListAccess)
+{
+    const auto forms = lang::parse("(a b)");
+    EXPECT_NO_THROW(forms[0].at(1));
+    EXPECT_THROW(forms[0].at(2), CompileError);
+}
+
+} // namespace
+} // namespace procoup

@@ -1,0 +1,231 @@
+/** @file Language acceptance tests: corner cases of scoping,
+ *  expansion, threading, and typing, verified end to end. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/support/error.hh"
+
+namespace procoup {
+namespace {
+
+using core::CoupledNode;
+using core::SimMode;
+
+core::RunResult
+run(const std::string& src, SimMode mode = SimMode::Coupled)
+{
+    CoupledNode node(config::baseline());
+    return node.runSource(src, mode);
+}
+
+TEST(LanguageCorners, LetShadowing)
+{
+    const auto r = run(
+        "(defvar out 0)"
+        "(defun main ()"
+        "  (let ((x 1))"
+        "    (let ((x 10))"
+        "      (set x (+ x 5)))"       // inner x
+        "    (set out x)))");           // outer x untouched
+    EXPECT_EQ(r.intValue("out"), 1);
+}
+
+TEST(LanguageCorners, DefunCallingDefun)
+{
+    const auto r = run(
+        "(defvar out 0)"
+        "(defun twice (x) (* 2 x))"
+        "(defun quad (x) (twice (twice x)))"
+        "(defun main () (set out (quad 5)))");
+    EXPECT_EQ(r.intValue("out"), 20);
+}
+
+TEST(LanguageCorners, DefunParamsAreCopies)
+{
+    // set on a parameter must not affect the caller's variable.
+    const auto r = run(
+        "(defvar out 0)"
+        "(defun clobber (x) (set x 99) x)"
+        "(defun main ()"
+        "  (let ((a 5))"
+        "    (clobber a)"
+        "    (set out a)))");
+    EXPECT_EQ(r.intValue("out"), 5);
+}
+
+TEST(LanguageCorners, DefunCannotSeeCallerLocals)
+{
+    EXPECT_THROW(run(
+        "(defun leak () hidden)"
+        "(defun main () (let ((hidden 5)) (leak)))"),
+        CompileError);
+}
+
+TEST(LanguageCorners, ForallInsideDefunCalledFromMain)
+{
+    const auto r = run(
+        "(defarray a (8))"
+        "(defun fill () (forall (i 0 8) (aset a i (float i))))"
+        "(defvar sum 0.0)"
+        "(defun main ()"
+        "  (fill)"
+        "  (let ((s 0.0))"
+        "    (for (i 0 8) (set s (+ s (aref a i))))"
+        "    (set sum s)))");
+    EXPECT_DOUBLE_EQ(r.value("sum"), 28.0);
+}
+
+TEST(LanguageCorners, UnrollInsideForallBody)
+{
+    const auto r = run(
+        "(defarray a (4 4))"
+        "(defun main ()"
+        "  (forall (r 0 4)"
+        "    (for (c 0 4 :unroll)"
+        "      (aset a r c (float (+ (* 10 r) c))))))");
+    for (int rr = 0; rr < 4; ++rr)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_DOUBLE_EQ(r.value("a", 4 * rr + c), 10.0 * rr + c);
+}
+
+TEST(LanguageCorners, BeginYieldsLastValue)
+{
+    const auto r = run(
+        "(defvar out 0)"
+        "(defun main ()"
+        "  (set out (begin 1 2 (+ 3 4))))");
+    EXPECT_EQ(r.intValue("out"), 7);
+}
+
+TEST(LanguageCorners, NestedWhileLoops)
+{
+    const auto r = run(
+        "(defvar out 0)"
+        "(defun main ()"
+        "  (let ((i 0) (total 0))"
+        "    (while (< i 5)"
+        "      (let ((j 0))"
+        "        (while (< j i)"
+        "          (set total (+ total 1))"
+        "          (set j (+ j 1))))"
+        "      (set i (+ i 1)))"
+        "    (set out total)))");
+    EXPECT_EQ(r.intValue("out"), 10);  // 0+1+2+3+4
+}
+
+TEST(LanguageCorners, AndOrNotSemantics)
+{
+    const auto r = run(
+        "(defvar a 0)(defvar b 0)(defvar c 0)"
+        "(defun main ()"
+        "  (let ((x 3) (y 0))"
+        "    (set a (and (< y x) (!= x 0)))"
+        "    (set b (or (= x 0) (= y 0)))"
+        "    (set c (not (and 1 0)))))");
+    EXPECT_EQ(r.intValue("a"), 1);
+    EXPECT_EQ(r.intValue("b"), 1);
+    EXPECT_EQ(r.intValue("c"), 1);
+}
+
+TEST(LanguageCorners, NegativeNumbersAndUnaryMinus)
+{
+    const auto r = run(
+        "(defvar i 0)(defvar f 0.0)"
+        "(defun main ()"
+        "  (let ((x 7) (y 2.5))"
+        "    (set i (- x))"
+        "    (set f (+ -1.5 (- y)))))");
+    EXPECT_EQ(r.intValue("i"), -7);
+    EXPECT_DOUBLE_EQ(r.value("f"), -4.0);
+}
+
+TEST(LanguageCorners, IntFloatCasts)
+{
+    const auto r = run(
+        "(defvar i 0)(defvar f 0.0)"
+        "(defun main ()"
+        "  (let ((x 2.9))"
+        "    (set i (int x))"
+        "    (set f (/ (float 7) 2.0))))");
+    EXPECT_EQ(r.intValue("i"), 2);
+    EXPECT_DOUBLE_EQ(r.value("f"), 3.5);
+}
+
+TEST(LanguageCorners, GlobalScalarsReadAndWrite)
+{
+    const auto r = run(
+        "(defvar counter 10)"
+        "(defvar out 0)"
+        "(defun main ()"
+        "  (set counter (+ counter 5))"
+        "  (set out (* counter 2)))");
+    EXPECT_EQ(r.intValue("counter"), 15);
+    EXPECT_EQ(r.intValue("out"), 30);
+}
+
+TEST(LanguageCorners, WhileConditionMustBeInt)
+{
+    EXPECT_THROW(run(
+        "(defun main () (while 1.5 0))"), CompileError);
+}
+
+TEST(LanguageCorners, SetOnUnrolledVariableRejected)
+{
+    EXPECT_THROW(run(
+        "(defun main () (for (i 0 3 :unroll) (set i 9)))"),
+        CompileError);
+}
+
+TEST(LanguageCorners, ArrayDimensionMismatchRejected)
+{
+    EXPECT_THROW(run(
+        "(defarray a (4 4))"
+        "(defun main () (aref a 1))"), CompileError);
+    EXPECT_THROW(run(
+        "(defarray a (4))"
+        "(defun main () (aset a 1 2 3.0))"), CompileError);
+}
+
+TEST(LanguageCorners, ForkRequiresCallForm)
+{
+    EXPECT_THROW(run("(defun main () (fork 5))"), CompileError);
+    EXPECT_THROW(run(
+        "(defun w (a b c d) 0)"
+        "(defun main () (fork (w 1 2 3 4)))"), CompileError);
+}
+
+TEST(LanguageCorners, InconsistentForkArgTypesRejected)
+{
+    EXPECT_THROW(run(
+        "(defarray a (4))"
+        "(defun w (x) (aset a 0 (float x)))"
+        "(defun main ()"
+        "  (fork (w 1))"
+        "  (fork (w 2.5)))"), CompileError);
+}
+
+TEST(LanguageCorners, EmptyForallBodyStillJoins)
+{
+    // Zero-trip forall: no children, no join wait, no deadlock.
+    const auto r = run(
+        "(defvar out 0)"
+        "(defarray a (4))"
+        "(defun main ()"
+        "  (let ((n 0))"
+        "    (forall (i 0 n) (aset a i 1.0)))"
+        "  (set out 1))");
+    EXPECT_EQ(r.intValue("out"), 1);
+}
+
+TEST(LanguageCorners, ForallSingleIteration)
+{
+    const auto r = run(
+        "(defarray a (1))"
+        "(defun main () (forall (i 0 1) (aset a i 9.0)))");
+    EXPECT_DOUBLE_EQ(r.value("a", 0), 9.0);
+}
+
+} // namespace
+} // namespace procoup

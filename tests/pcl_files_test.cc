@@ -1,0 +1,81 @@
+/** @file The shipped .pcl sample programs compile and compute correct
+ *  results in every mode (they double as language acceptance tests). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+
+#ifndef PROCOUP_SOURCE_DIR
+#error "PROCOUP_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace procoup {
+namespace {
+
+std::string
+readPcl(const std::string& name)
+{
+    const std::string path =
+        std::string(PROCOUP_SOURCE_DIR) + "/examples/pcl/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class PclFiles : public ::testing::TestWithParam<core::SimMode>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, PclFiles,
+    ::testing::Values(core::SimMode::Seq, core::SimMode::Sts,
+                      core::SimMode::Tpe, core::SimMode::Coupled),
+    [](const ::testing::TestParamInfo<core::SimMode>& i) {
+        return core::simModeName(i.param);
+    });
+
+TEST_P(PclFiles, Dot)
+{
+    core::CoupledNode node(config::baseline());
+    const auto run = node.runSource(readPcl("dot.pcl"), GetParam());
+    double expect = 0.0;
+    for (int i = 0; i < 24; ++i)
+        expect += (0.5 * i * 2.0) * (6.0 - 0.25 * i);
+    EXPECT_NEAR(run.value("dot"), expect, 1e-9);
+}
+
+TEST_P(PclFiles, Sieve)
+{
+    core::CoupledNode node(config::baseline());
+    const auto run = node.runSource(readPcl("sieve.pcl"), GetParam());
+    EXPECT_EQ(run.intValue("count"), 25);  // primes below 100
+}
+
+TEST_P(PclFiles, Heat)
+{
+    core::CoupledNode node(config::baseline());
+    const auto run = node.runSource(readPcl("heat.pcl"), GetParam());
+
+    // C++ reference of the same sweeps.
+    double u[34];
+    double un[34];
+    for (int i = 0; i < 34; ++i)
+        u[i] = un[i] = i == 0 ? 10.0 : (i == 33 ? 2.0 : 0.0);
+    for (int step = 0; step < 10; ++step) {
+        for (int i = 1; i < 33; ++i)
+            un[i] = 0.25 * (u[i - 1] + 2.0 * u[i] + u[i + 1]);
+        for (int i = 1; i < 33; ++i)
+            u[i] = un[i];
+    }
+    for (int i = 0; i < 34; ++i)
+        EXPECT_NEAR(run.value("unew", i), un[i], 1e-9) << i;
+}
+
+} // namespace
+} // namespace procoup

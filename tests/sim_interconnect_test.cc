@@ -1,0 +1,99 @@
+/** @file Unit tests for the writeback interconnection network: port and
+ *  bus budgets of the five communication schemes of Figure 6. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/sim/interconnect.hh"
+
+namespace procoup {
+namespace {
+
+using config::InterconnectScheme;
+using sim::WritebackNetwork;
+
+TEST(Interconnect, FullIsUnrestricted)
+{
+    WritebackNetwork n(InterconnectScheme::Full, 4);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(n.tryGrant(0, 0));
+        EXPECT_TRUE(n.tryGrant(1, 0));
+        EXPECT_TRUE(n.tryGrant(2, 3));
+    }
+    EXPECT_EQ(n.stats().denials, 0u);
+}
+
+TEST(Interconnect, TriPortBudgets)
+{
+    WritebackNetwork n(InterconnectScheme::TriPort, 4);
+    // Three write ports per register file: local writes may borrow
+    // idle global ports, so three writes land per file per cycle.
+    EXPECT_TRUE(n.tryGrant(0, 0));   // the local port
+    EXPECT_TRUE(n.tryGrant(0, 0));   // borrows a global port
+    EXPECT_TRUE(n.tryGrant(1, 0));   // the second global port
+    EXPECT_FALSE(n.tryGrant(2, 0));  // all three ports used
+    EXPECT_FALSE(n.tryGrant(0, 0));
+    // Other files unaffected (private buses).
+    EXPECT_TRUE(n.tryGrant(0, 1));
+    EXPECT_TRUE(n.tryGrant(0, 2));
+
+    n.beginCycle();
+    EXPECT_TRUE(n.tryGrant(0, 0));  // budgets replenished
+    EXPECT_TRUE(n.tryGrant(1, 0));
+}
+
+TEST(Interconnect, TriPortRemoteCannotUseLocalPort)
+{
+    WritebackNetwork n(InterconnectScheme::TriPort, 4);
+    EXPECT_TRUE(n.tryGrant(1, 0));   // global port 1
+    EXPECT_TRUE(n.tryGrant(2, 0));   // global port 2
+    EXPECT_FALSE(n.tryGrant(3, 0));  // local port is local-only
+    EXPECT_TRUE(n.tryGrant(0, 0));   // ...and still free for a local
+}
+
+TEST(Interconnect, DualPortBudgets)
+{
+    WritebackNetwork n(InterconnectScheme::DualPort, 4);
+    EXPECT_TRUE(n.tryGrant(0, 0));   // local
+    EXPECT_TRUE(n.tryGrant(1, 0));   // the single global port
+    EXPECT_FALSE(n.tryGrant(2, 0));  // second remote denied
+    EXPECT_TRUE(n.tryGrant(2, 1));   // different file ok
+}
+
+TEST(Interconnect, SinglePortSharedByLocalAndRemote)
+{
+    WritebackNetwork n(InterconnectScheme::SinglePort, 4);
+    EXPECT_TRUE(n.tryGrant(0, 0));   // local takes the only port
+    EXPECT_FALSE(n.tryGrant(1, 0));  // remote denied
+    EXPECT_FALSE(n.tryGrant(0, 0));  // second local denied
+    // No interference with other register files.
+    EXPECT_TRUE(n.tryGrant(3, 1));
+    EXPECT_TRUE(n.tryGrant(1, 2));
+}
+
+TEST(Interconnect, SharedBusOneRemotePerCycleMachineWide)
+{
+    WritebackNetwork n(InterconnectScheme::SharedBus, 4);
+    EXPECT_TRUE(n.tryGrant(0, 1));   // takes the bus
+    EXPECT_FALSE(n.tryGrant(2, 3));  // any other remote denied
+    // Local writes do not use the bus.
+    EXPECT_TRUE(n.tryGrant(0, 0));
+    EXPECT_TRUE(n.tryGrant(3, 3));
+    EXPECT_FALSE(n.tryGrant(3, 3));  // but local port is still 1/cycle
+
+    n.beginCycle();
+    EXPECT_TRUE(n.tryGrant(2, 3));   // bus free again
+}
+
+TEST(Interconnect, StatsCountGrantsAndDenials)
+{
+    WritebackNetwork n(InterconnectScheme::DualPort, 2);
+    n.tryGrant(0, 0);   // grant (local)
+    n.tryGrant(1, 0);   // grant (remote)
+    n.tryGrant(1, 0);   // denial
+    EXPECT_EQ(n.stats().grants, 2u);
+    EXPECT_EQ(n.stats().remoteGrants, 1u);
+    EXPECT_EQ(n.stats().denials, 1u);
+}
+
+} // namespace
+} // namespace procoup

@@ -1,0 +1,329 @@
+/** @file Unit tests for the memory system (Table 1 semantics, split
+ *  transactions, the statistical latency model, and ordering). */
+
+#include <gtest/gtest.h>
+
+#include "procoup/support/error.hh"
+#include "procoup/config/machine.hh"
+#include "procoup/sim/memory.hh"
+#include "test_util.hh"
+
+namespace procoup {
+namespace {
+
+using isa::MemFlavor;
+using isa::MemPost;
+using isa::MemPre;
+using isa::Value;
+using sim::MemorySystem;
+using testutil::rr;
+
+config::MemoryConfig
+fastMem()
+{
+    config::MemoryConfig c;
+    c.hitLatency = 1;
+    c.missRate = 0.0;
+    return c;
+}
+
+std::vector<isa::MemInit>
+noInits()
+{
+    return {};
+}
+
+TEST(Memory, PlainStoreThenLoad)
+{
+    MemorySystem m(fastMem(), 8, noInits());
+    m.issueStore(0, 0, 3, MemFlavor::plainStore(), Value::makeInt(42));
+    auto done = m.tick(1);
+    EXPECT_TRUE(done.empty());
+    EXPECT_EQ(m.peek(3).asInt(), 42);
+    EXPECT_TRUE(m.isFull(3));
+
+    m.issueLoad(1, 0, 3, MemFlavor::plainLoad(), {rr(0, 1)}, 0);
+    done = m.tick(2);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].value.asInt(), 42);
+    EXPECT_EQ(done[0].dsts[0], rr(0, 1));
+    EXPECT_TRUE(m.idle());
+}
+
+TEST(Memory, HitLatencyDelaysCompletion)
+{
+    auto cfg = fastMem();
+    cfg.hitLatency = 3;
+    MemorySystem m(cfg, 8, noInits());
+    m.issueLoad(0, 0, 0, MemFlavor::plainLoad(), {rr(0, 0)}, 0);
+    EXPECT_TRUE(m.tick(1).empty());
+    EXPECT_TRUE(m.tick(2).empty());
+    EXPECT_EQ(m.tick(3).size(), 1u);
+}
+
+TEST(Memory, DefaultWordsAreFullZero)
+{
+    MemorySystem m(fastMem(), 4, noInits());
+    EXPECT_TRUE(m.isFull(2));
+    EXPECT_EQ(m.peek(2).asInt(), 0);
+}
+
+TEST(Memory, InitsOverrideDefaults)
+{
+    std::vector<isa::MemInit> inits = {
+        {1, Value::makeFloat(2.5), true},
+        {2, Value::makeInt(0), false},  // an empty sync cell
+    };
+    MemorySystem m(fastMem(), 4, inits);
+    EXPECT_DOUBLE_EQ(m.peek(1).asFloat(), 2.5);
+    EXPECT_FALSE(m.isFull(2));
+}
+
+// --- Table 1: all six flavors, parameterized ------------------------
+
+struct FlavorCase
+{
+    const char* name;
+    bool is_load;
+    MemFlavor flavor;
+    bool cell_full_before;
+    bool expect_immediate;   ///< completes without waiting
+    bool cell_full_after;    ///< once completed
+};
+
+class TableOneTest : public ::testing::TestWithParam<FlavorCase> {};
+
+TEST_P(TableOneTest, PreAndPostConditions)
+{
+    const auto& p = GetParam();
+    std::vector<isa::MemInit> inits = {
+        {0, Value::makeInt(7), p.cell_full_before}};
+    MemorySystem m(fastMem(), 2, inits);
+
+    if (p.is_load)
+        m.issueLoad(0, 0, 0, p.flavor, {rr(0, 0)}, 0);
+    else
+        m.issueStore(0, 0, 0, p.flavor, Value::makeInt(9));
+
+    auto done = m.tick(1);
+    if (p.expect_immediate) {
+        if (p.is_load) {
+            ASSERT_EQ(done.size(), 1u);
+            EXPECT_EQ(done[0].value.asInt(), 7);
+        } else {
+            EXPECT_EQ(m.peek(0).asInt(), 9);
+        }
+        EXPECT_EQ(m.isFull(0), p.cell_full_after);
+        EXPECT_TRUE(m.idle());
+    } else {
+        EXPECT_TRUE(done.empty());
+        EXPECT_EQ(m.parkedCount(), 1u);
+        EXPECT_FALSE(m.idle());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlavors, TableOneTest,
+    ::testing::Values(
+        // load: unconditional / leave as is
+        FlavorCase{"plain_load_full", true, MemFlavor::plainLoad(),
+                   true, true, true},
+        FlavorCase{"plain_load_empty", true, MemFlavor::plainLoad(),
+                   false, true, false},
+        // load: wait until full / leave full
+        FlavorCase{"wait_load_full", true, MemFlavor::waitLoad(),
+                   true, true, true},
+        FlavorCase{"wait_load_empty_parks", true, MemFlavor::waitLoad(),
+                   false, false, false},
+        // load: wait until full / set empty
+        FlavorCase{"consume_load_full", true, MemFlavor::consumeLoad(),
+                   true, true, false},
+        FlavorCase{"consume_load_empty_parks", true,
+                   MemFlavor::consumeLoad(), false, false, false},
+        // store: unconditional / set full
+        FlavorCase{"plain_store_empty", false, MemFlavor::plainStore(),
+                   false, true, true},
+        FlavorCase{"plain_store_full", false, MemFlavor::plainStore(),
+                   true, true, true},
+        // store: wait until full / leave full
+        FlavorCase{"update_store_full", false, MemFlavor::updateStore(),
+                   true, true, true},
+        FlavorCase{"update_store_empty_parks", false,
+                   MemFlavor::updateStore(), false, false, false},
+        // store: wait until empty / set full
+        FlavorCase{"produce_store_empty", false,
+                   MemFlavor::produceStore(), false, true, true},
+        FlavorCase{"produce_store_full_parks", false,
+                   MemFlavor::produceStore(), true, false, false}),
+    [](const ::testing::TestParamInfo<FlavorCase>& info) {
+        return info.param.name;
+    });
+
+// --- Split transactions: park and wake -------------------------------
+
+TEST(Memory, ParkedLoadWakesOnStore)
+{
+    std::vector<isa::MemInit> inits = {{0, Value::makeInt(0), false}};
+    MemorySystem m(fastMem(), 2, inits);
+
+    m.issueLoad(0, 1, 0, MemFlavor::waitLoad(), {rr(0, 5)}, 2);
+    EXPECT_TRUE(m.tick(1).empty());
+    EXPECT_EQ(m.parkedCount(), 1u);
+
+    // Producer stores at cycle 5; the parked load completes the same
+    // cycle the store arrives.
+    m.issueStore(5, 0, 0, MemFlavor::plainStore(), Value::makeInt(33));
+    auto done = m.tick(6);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].value.asInt(), 33);
+    EXPECT_EQ(done[0].thread, 1);
+    EXPECT_EQ(done[0].srcCluster, 2);
+    EXPECT_TRUE(m.idle());
+    EXPECT_GE(m.stats().parkedCycles, 5u);
+}
+
+TEST(Memory, ConsumeLoadGrantsExclusively)
+{
+    // Two consume-loads park on an empty cell; one store wakes exactly
+    // one of them (mutex acquire semantics).
+    std::vector<isa::MemInit> inits = {{0, Value::makeInt(0), false}};
+    MemorySystem m(fastMem(), 2, inits);
+
+    m.issueLoad(0, 1, 0, MemFlavor::consumeLoad(), {rr(0, 0)}, 0);
+    m.issueLoad(0, 2, 0, MemFlavor::consumeLoad(), {rr(0, 0)}, 0);
+    EXPECT_TRUE(m.tick(1).empty());
+    EXPECT_EQ(m.parkedCount(), 2u);
+
+    m.issueStore(2, 0, 0, MemFlavor::plainStore(), Value::makeInt(1));
+    auto done = m.tick(3);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].thread, 1);  // first parked wins
+    EXPECT_EQ(m.parkedCount(), 1u);
+    EXPECT_FALSE(m.isFull(0));
+
+    // A second store releases the second waiter.
+    m.issueStore(4, 0, 0, MemFlavor::plainStore(), Value::makeInt(2));
+    done = m.tick(5);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].thread, 2);
+    EXPECT_TRUE(m.idle());
+}
+
+TEST(Memory, ProduceConsumeChainWakesInOrder)
+{
+    // produce-store parked on a full cell wakes when a consume-load
+    // empties it; the wake cascade happens within one tick.
+    std::vector<isa::MemInit> inits = {{0, Value::makeInt(5), true}};
+    MemorySystem m(fastMem(), 2, inits);
+
+    m.issueStore(0, 0, 0, MemFlavor::produceStore(), Value::makeInt(6));
+    m.tick(1);
+    EXPECT_EQ(m.parkedCount(), 1u);
+
+    m.issueLoad(1, 1, 0, MemFlavor::consumeLoad(), {rr(0, 0)}, 0);
+    auto done = m.tick(2);
+    // The consume-load reads 5 and empties; the parked produce-store
+    // wakes and refills with 6.
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].value.asInt(), 5);
+    EXPECT_TRUE(m.isFull(0));
+    EXPECT_EQ(m.peek(0).asInt(), 6);
+    EXPECT_TRUE(m.idle());
+}
+
+// --- Ordering ---------------------------------------------------------
+
+TEST(Memory, SameAddressAccessesKeepIssueOrder)
+{
+    // With a long random miss on the first store, the second access to
+    // the same address must not overtake it.
+    config::MemoryConfig cfg;
+    cfg.hitLatency = 1;
+    cfg.missRate = 1.0;  // always miss
+    cfg.missPenaltyMin = 50;
+    cfg.missPenaltyMax = 50;
+    MemorySystem m(cfg, 2, noInits());
+
+    m.issueStore(0, 0, 0, MemFlavor::plainStore(), Value::makeInt(1));
+    m.issueLoad(1, 0, 0, MemFlavor::plainLoad(), {rr(0, 0)}, 0);
+
+    std::vector<sim::CompletedLoad> done;
+    for (std::uint64_t c = 1; c <= 120 && done.empty(); ++c)
+        done = m.tick(c);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].value.asInt(), 1);  // saw the store's value
+}
+
+TEST(Memory, MissRateProducesMissesAndLongerLatency)
+{
+    config::MemoryConfig cfg;
+    cfg.hitLatency = 1;
+    cfg.missRate = 0.5;
+    cfg.missPenaltyMin = 20;
+    cfg.missPenaltyMax = 100;
+    cfg.seed = 77;
+    MemorySystem m(cfg, 1024, noInits());
+
+    for (std::uint32_t a = 0; a < 1000; ++a)
+        m.issueLoad(0, 0, a, MemFlavor::plainLoad(), {rr(0, 0)}, 0);
+
+    std::size_t total = 0;
+    for (std::uint64_t c = 1; c <= 102; ++c)
+        total += m.tick(c).size();
+    EXPECT_EQ(total, 1000u);
+    EXPECT_TRUE(m.idle());
+
+    const auto& s = m.stats();
+    EXPECT_EQ(s.accesses, 1000u);
+    EXPECT_EQ(s.hits + s.misses, 1000u);
+    EXPECT_NEAR(static_cast<double>(s.misses), 500.0, 60.0);
+}
+
+TEST(Memory, DeterministicAcrossRunsWithSameSeed)
+{
+    auto run = [] {
+        config::MemoryConfig cfg;
+        cfg.missRate = 0.3;
+        cfg.seed = 5;
+        MemorySystem m(cfg, 64, {});
+        std::vector<std::size_t> completions;
+        for (std::uint32_t a = 0; a < 64; ++a)
+            m.issueLoad(0, 0, a, MemFlavor::plainLoad(), {rr(0, 0)}, 0);
+        for (std::uint64_t c = 1; c <= 110; ++c)
+            completions.push_back(m.tick(c).size());
+        return completions;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Memory, BankConflictsSerializeWhenEnabled)
+{
+    config::MemoryConfig cfg;
+    cfg.hitLatency = 1;
+    cfg.numBanks = 2;
+    cfg.modelBankConflicts = true;
+    MemorySystem m(cfg, 16, {});
+
+    // Four loads to the same bank (addresses 0, 2, 4, 6 mod 2 == 0).
+    for (std::uint32_t a = 0; a < 8; a += 2)
+        m.issueLoad(0, 0, a, MemFlavor::plainLoad(), {rr(0, 0)}, 0);
+
+    std::size_t at_cycle_1 = m.tick(1).size();
+    EXPECT_EQ(at_cycle_1, 1u);  // serialized, one per cycle
+    std::size_t rest = 0;
+    for (std::uint64_t c = 2; c <= 6; ++c)
+        rest += m.tick(c).size();
+    EXPECT_EQ(rest, 3u);
+}
+
+TEST(Memory, WildAccessThrows)
+{
+    MemorySystem m(fastMem(), 4, {});
+    EXPECT_THROW(
+        m.issueLoad(0, 0, 99, MemFlavor::plainLoad(), {rr(0, 0)}, 0),
+        SimError);
+    EXPECT_THROW(m.peek(4), SimError);
+}
+
+} // namespace
+} // namespace procoup

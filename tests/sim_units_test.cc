@@ -1,0 +1,156 @@
+/** @file Unit tests for the small simulator building blocks:
+ *  RegisterSet presence bits and the ThreadContext issue window. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/isa/builder.hh"
+#include "procoup/sim/regfile.hh"
+#include "procoup/sim/thread.hh"
+#include "test_util.hh"
+
+namespace procoup {
+namespace {
+
+using namespace isa;
+using sim::RegisterSet;
+using sim::ThreadContext;
+using sim::ThreadState;
+using testutil::rr;
+
+TEST(RegisterSet, StartsValidWithZero)
+{
+    RegisterSet r({2, 3});
+    EXPECT_EQ(r.numClusters(), 2);
+    EXPECT_EQ(r.frameSize(0), 2u);
+    EXPECT_EQ(r.frameSize(1), 3u);
+    EXPECT_TRUE(r.isValid(rr(1, 2)));
+    EXPECT_EQ(r.read(rr(1, 2)).asInt(), 0);
+}
+
+TEST(RegisterSet, IssueClearThenWriteSets)
+{
+    RegisterSet r({2});
+    r.clearValid(rr(0, 1));
+    EXPECT_FALSE(r.isValid(rr(0, 1)));
+    // The stale value stays readable while invalid (read-at-issue of
+    // same-row WAR pairs depends on this).
+    EXPECT_EQ(r.read(rr(0, 1)).asInt(), 0);
+    r.write(rr(0, 1), Value::makeFloat(2.5));
+    EXPECT_TRUE(r.isValid(rr(0, 1)));
+    EXPECT_DOUBLE_EQ(r.read(rr(0, 1)).rawFloat(), 2.5);
+}
+
+/** Build a two-row code fragment for window tests. */
+ThreadCode
+twoRowCode()
+{
+    ProgramBuilder pb(6);
+    auto t = pb.thread("t", {4});
+    t.row();
+    t.add(0, op::alu(Opcode::IADD, rr(0, 0), op::imm(1), op::imm(2)));
+    t.add(1, op::alu(Opcode::FADD, rr(0, 1), op::fimm(1), op::fimm(2)));
+    t.rowOp(12, op::ethr());
+    return pb.finish(0).threads[0];
+}
+
+TEST(ThreadContext, WindowTracksSlotIssue)
+{
+    const auto code = twoRowCode();
+    ThreadContext t(0, &code, 0, 0);
+    EXPECT_EQ(t.state(), ThreadState::Active);
+    EXPECT_EQ(t.ip(), 0u);
+    EXPECT_FALSE(t.allSlotsIssued());
+
+    t.markIssued(0);
+    EXPECT_TRUE(t.slotIssued(0));
+    EXPECT_FALSE(t.slotIssued(1));
+    EXPECT_FALSE(t.allSlotsIssued());
+    // Partially issued: the IP must not advance.
+    EXPECT_FALSE(t.endOfCycle(3));
+    EXPECT_EQ(t.ip(), 0u);
+
+    t.markIssued(1);
+    EXPECT_TRUE(t.allSlotsIssued());
+    EXPECT_FALSE(t.endOfCycle(4));  // advanced, not retired
+    EXPECT_EQ(t.ip(), 1u);
+    EXPECT_FALSE(t.allSlotsIssued());  // fresh window for row 1
+}
+
+TEST(ThreadContext, BranchHoldsAdvanceUntilResolved)
+{
+    ProgramBuilder pb(6);
+    auto t = pb.thread("t", {1, 0, 0, 0, 2});
+    t.rowOp(12, op::bt(op::reg(rr(4, 0)), 0));
+    t.rowOp(12, op::ethr());
+    const auto code = pb.finish(0).threads[0];
+
+    ThreadContext ctx(0, &code, 0, 0);
+    // Branch issues at cycle 2, resolves at end of cycle 4 (latency 3).
+    ctx.markIssued(0);
+    ctx.setBranch(/*taken=*/false, 0, /*resolve=*/4);
+    EXPECT_FALSE(ctx.endOfCycle(2));
+    EXPECT_EQ(ctx.ip(), 0u);  // still waiting for resolution
+    EXPECT_FALSE(ctx.endOfCycle(3));
+    EXPECT_EQ(ctx.ip(), 0u);
+    EXPECT_FALSE(ctx.endOfCycle(4));
+    EXPECT_EQ(ctx.ip(), 1u);  // fell through after resolution
+}
+
+TEST(ThreadContext, TakenBranchRedirects)
+{
+    ProgramBuilder pb(6);
+    auto t = pb.thread("t", {1, 0, 0, 0, 2});
+    t.rowOp(12, op::br(2));
+    t.rowOp(12, op::ethr());
+    t.rowOp(12, op::ethr());
+    const auto code = pb.finish(0).threads[0];
+
+    ThreadContext ctx(0, &code, 0, 0);
+    ctx.markIssued(0);
+    ctx.setBranch(true, 2, 0);
+    EXPECT_FALSE(ctx.endOfCycle(0));
+    EXPECT_EQ(ctx.ip(), 2u);
+}
+
+TEST(ThreadContext, EndRetiresAtResolveCycle)
+{
+    const auto code = twoRowCode();
+    ThreadContext t(7, &code, 0, 5);
+    EXPECT_EQ(t.spawnCycle(), 5u);
+    t.markIssued(0);
+    t.markIssued(1);
+    t.endOfCycle(6);           // advance to the ETHR row
+    t.markIssued(0);
+    t.setEnd(/*resolve=*/8);
+    EXPECT_FALSE(t.endOfCycle(7));
+    EXPECT_EQ(t.state(), ThreadState::Active);
+    EXPECT_TRUE(t.endOfCycle(8));
+    EXPECT_EQ(t.state(), ThreadState::Done);
+    EXPECT_EQ(t.endCycle(), 8u);
+}
+
+TEST(ThreadContext, RunningOffTheEndRetires)
+{
+    ProgramBuilder pb(6);
+    auto t = pb.thread("t", {1});
+    t.rowOp(0, op::mov(rr(0, 0), op::imm(1)));
+    const auto code = pb.finish(0).threads[0];
+
+    ThreadContext ctx(0, &code, 0, 0);
+    ctx.markIssued(0);
+    EXPECT_TRUE(ctx.endOfCycle(1));
+    EXPECT_EQ(ctx.state(), ThreadState::Done);
+}
+
+TEST(ThreadContext, EmptyCodeIsImmediatelyDone)
+{
+    ProgramBuilder pb(6);
+    pb.thread("empty", {1});
+    const auto code = pb.finish(0).threads[0];
+    ThreadContext ctx(0, &code, 0, 9);
+    EXPECT_EQ(ctx.state(), ThreadState::Done);
+    EXPECT_EQ(ctx.endCycle(), 9u);
+}
+
+} // namespace
+} // namespace procoup

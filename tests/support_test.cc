@@ -1,0 +1,138 @@
+/** @file Unit tests for the support module (RNG, strings, tables). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "procoup/support/error.hh"
+#include "procoup/support/rng.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
+
+namespace procoup {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ZeroSeedIsRemapped)
+{
+    Rng a(0);
+    EXPECT_NE(a.next(), 0u);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng r(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.uniformInt(20, 100);
+        ASSERT_GE(v, 20);
+        ASSERT_LE(v, 100);
+        seen.insert(v);
+    }
+    // The paper's miss-penalty range should be well covered.
+    EXPECT_GT(seen.size(), 70u);
+}
+
+TEST(Rng, UniformIntSingletonRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniformDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (r.chance(0.05))
+            ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.05, 0.01);
+}
+
+TEST(Strings, StrCat)
+{
+    EXPECT_EQ(strCat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(strCat(), "");
+}
+
+TEST(Strings, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x y\t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Fixed)
+{
+    EXPECT_EQ(fixed(1.2345, 2), "1.23");
+    EXPECT_EQ(fixed(2.0, 1), "2.0");
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"Benchmark", "Cycles"});
+    t.row({"Matrix", "638"});
+    t.row({"FFT", "1102"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Benchmark"), std::string::npos);
+    EXPECT_NE(out.find("Matrix"), std::string::npos);
+    // Header separator exists.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Errors, CompileAndSimErrorsCarryMessages)
+{
+    try {
+        throw CompileError("bad source");
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "bad source");
+    }
+    try {
+        throw SimError("deadlock");
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "deadlock");
+    }
+}
+
+} // namespace
+} // namespace procoup

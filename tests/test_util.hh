@@ -1,0 +1,35 @@
+#ifndef PROCOUP_TESTS_TEST_UTIL_HH
+#define PROCOUP_TESTS_TEST_UTIL_HH
+
+/**
+ * @file
+ * Shared helpers for the test suites: the baseline machine's
+ * function-unit numbering and small program-building shortcuts.
+ *
+ * Baseline machine layout (config::baseline()):
+ *   clusters 0..3: fu 3c+0 = IU, 3c+1 = FPU, 3c+2 = MU
+ *   cluster 4:     fu 12 = BR       cluster 5: fu 13 = BR
+ */
+
+#include "procoup/config/presets.hh"
+
+namespace procoup {
+namespace testutil {
+
+inline int fuIU(int cluster)  { return 3 * cluster + 0; }
+inline int fuFPU(int cluster) { return 3 * cluster + 1; }
+inline int fuMU(int cluster)  { return 3 * cluster + 2; }
+inline int fuBR0() { return 12; }
+inline int fuBR1() { return 13; }
+
+inline isa::RegRef
+rr(int cluster, int index)
+{
+    return isa::RegRef{static_cast<std::uint16_t>(cluster),
+                       static_cast<std::uint16_t>(index)};
+}
+
+} // namespace testutil
+} // namespace procoup
+
+#endif // PROCOUP_TESTS_TEST_UTIL_HH

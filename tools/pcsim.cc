@@ -1,0 +1,246 @@
+/**
+ * @file
+ * pcsim — command-line driver for the processor-coupling toolchain.
+ *
+ * Usage:
+ *   pcsim [options] program.pcl
+ *   pcsim [options] --benchmark Matrix|FFT|LUD|Model
+ *
+ * Options:
+ *   --mode seq|sts|ideal|tpe|coupled   simulation mode (default coupled)
+ *   --machine FILE                     s-expression machine description
+ *   --interconnect full|tri-port|dual-port|single-port|shared-bus
+ *   --mem min|mem1|mem2                memory model preset
+ *   --dump-asm                         print the compiled assembly
+ *   --dump-ir                          print the optimized IR
+ *   --dump-schedule                    print Figure-1-style schedules
+ *   --diag                             compiler diagnostics summary
+ *   --trace                            cycle-by-cycle event trace
+ *   --max-trace N                      stop tracing after N events
+ *   --verify                           (with --benchmark) check results
+ *   --sym NAME                         print a data symbol after the run
+ *
+ * Exit status: 0 on success, 1 on compile/simulation errors or a
+ * failed verification.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/parse.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/ir/frontend.hh"
+#include "procoup/isa/asmtext.hh"
+#include "procoup/opt/passes.hh"
+#include "procoup/sched/report.hh"
+#include "procoup/sim/simulator.hh"
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace {
+
+using namespace procoup;
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options] program.pcl\n"
+                 "       %s [options] --benchmark NAME\n"
+                 "see the file header of tools/pcsim.cc for options\n",
+                 argv0, argv0);
+    std::exit(1);
+}
+
+core::SimMode
+parseMode(const std::string& s)
+{
+    if (s == "seq")
+        return core::SimMode::Seq;
+    if (s == "sts")
+        return core::SimMode::Sts;
+    if (s == "ideal")
+        return core::SimMode::Ideal;
+    if (s == "tpe")
+        return core::SimMode::Tpe;
+    if (s == "coupled")
+        return core::SimMode::Coupled;
+    throw CompileError(strCat("unknown mode '", s, "'"));
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw CompileError(strCat("cannot open ", path));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct Options
+{
+    core::SimMode mode = core::SimMode::Coupled;
+    config::MachineConfig machine = config::baseline();
+    std::string source_file;
+    std::string benchmark;
+    bool dump_asm = false;
+    bool dump_ir = false;
+    bool dump_schedule = false;
+    bool diag = false;
+    bool do_trace = false;
+    long max_trace = 2000;
+    bool verify = false;
+    std::vector<std::string> symbols;
+};
+
+Options
+parseArgs(int argc, char** argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (a == "--mode") {
+            o.mode = parseMode(next());
+        } else if (a == "--machine") {
+            o.machine = config::parseMachine(readFile(next()));
+        } else if (a == "--interconnect") {
+            const std::string s = next();
+            o.machine = config::withInterconnect(
+                o.machine,
+                config::parseMachine(
+                    strCat("(machine (cluster (iu) (mem)) (cluster "
+                           "(br)) (interconnect ", s, "))"))
+                    .interconnect);
+        } else if (a == "--mem") {
+            const std::string s = next();
+            if (s == "min")
+                o.machine = config::withMemMin(o.machine);
+            else if (s == "mem1")
+                o.machine = config::withMem1(o.machine);
+            else if (s == "mem2")
+                o.machine = config::withMem2(o.machine);
+            else
+                usage(argv[0]);
+        } else if (a == "--benchmark") {
+            o.benchmark = next();
+        } else if (a == "--dump-asm") {
+            o.dump_asm = true;
+        } else if (a == "--dump-ir") {
+            o.dump_ir = true;
+        } else if (a == "--dump-schedule") {
+            o.dump_schedule = true;
+        } else if (a == "--diag") {
+            o.diag = true;
+        } else if (a == "--trace") {
+            o.do_trace = true;
+        } else if (a == "--max-trace") {
+            o.max_trace = std::strtol(next().c_str(), nullptr, 10);
+        } else if (a == "--verify") {
+            o.verify = true;
+        } else if (a == "--sym") {
+            o.symbols.push_back(next());
+        } else if (!a.empty() && a[0] == '-') {
+            usage(argv[0]);
+        } else {
+            o.source_file = a;
+        }
+    }
+    if (o.source_file.empty() == o.benchmark.empty())
+        usage(argv[0]);  // exactly one input
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+try {
+    const Options o = parseArgs(argc, argv);
+
+    const std::string source =
+        !o.benchmark.empty()
+            ? benchmarks::byName(o.benchmark).forMode(o.mode)
+            : readFile(o.source_file);
+
+    if (o.dump_ir) {
+        ir::FrontendOptions fopts;
+        fopts.forkClones =
+            static_cast<int>(o.machine.arithClusters().size());
+        ir::Module mod = ir::buildModule(source, fopts);
+        opt::optimize(mod);
+        std::printf("%s\n", mod.toString().c_str());
+    }
+
+    core::CoupledNode node(o.machine);
+    auto compiled = node.compile(source, o.mode);
+
+    if (o.dump_asm)
+        std::printf("%s\n", isa::printAssembly(compiled.program).c_str());
+    if (o.dump_schedule)
+        for (const auto& t : compiled.program.threads)
+            std::printf("%s\n",
+                        sched::formatSchedule(t, o.machine).c_str());
+    if (o.diag)
+        std::printf("%s\n", sched::formatDiagnostics(compiled).c_str());
+
+    sim::Simulator simulator(o.machine, compiled.program);
+    long traced = 0;
+    if (o.do_trace) {
+        simulator.setTracer([&](const sim::TraceEvent& e) {
+            if (traced++ < o.max_trace)
+                std::printf("%s\n", e.toString().c_str());
+        });
+    }
+    const auto stats = simulator.run();
+    if (o.do_trace && traced > o.max_trace)
+        std::printf("... %ld further events suppressed\n",
+                    traced - o.max_trace);
+
+    std::printf("%s", stats.summary().c_str());
+    std::printf("peak registers/cluster: %u\n",
+                compiled.peakRegistersPerCluster());
+
+    for (const auto& name : o.symbols) {
+        const auto& sym = compiled.program.symbol(name);
+        std::printf("%s:", name.c_str());
+        for (std::uint32_t k = 0; k < sym.size && k < 16; ++k)
+            std::printf(" %s",
+                        simulator.memory()
+                            .peek(sym.base + k)
+                            .toString()
+                            .c_str());
+        std::printf(sym.size > 16 ? " ...\n" : "\n");
+    }
+
+    if (o.verify && !o.benchmark.empty()) {
+        core::RunResult rr;
+        rr.compiled = std::move(compiled);
+        rr.stats = stats;
+        for (std::uint32_t a = 0; a < rr.compiled.program.memorySize;
+             ++a)
+            rr.memory.push_back(simulator.memory().peek(a));
+        std::string why;
+        if (!benchmarks::verify(o.benchmark, rr, &why)) {
+            std::fprintf(stderr, "VERIFY FAILED: %s\n", why.c_str());
+            return 1;
+        }
+        std::printf("verify: OK\n");
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}
