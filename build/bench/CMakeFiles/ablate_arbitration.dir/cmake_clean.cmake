@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_arbitration.dir/ablate_arbitration.cc.o"
+  "CMakeFiles/ablate_arbitration.dir/ablate_arbitration.cc.o.d"
+  "ablate_arbitration"
+  "ablate_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

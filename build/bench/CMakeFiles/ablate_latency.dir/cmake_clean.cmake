@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_latency.dir/ablate_latency.cc.o"
+  "CMakeFiles/ablate_latency.dir/ablate_latency.cc.o.d"
+  "ablate_latency"
+  "ablate_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_opcache.dir/ablate_opcache.cc.o"
+  "CMakeFiles/ablate_opcache.dir/ablate_opcache.cc.o.d"
+  "ablate_opcache"
+  "ablate_opcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_opcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

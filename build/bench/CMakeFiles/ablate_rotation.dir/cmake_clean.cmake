@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rotation.dir/ablate_rotation.cc.o"
+  "CMakeFiles/ablate_rotation.dir/ablate_rotation.cc.o.d"
+  "ablate_rotation"
+  "ablate_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_threads.dir/ablate_threads.cc.o"
+  "CMakeFiles/ablate_threads.dir/ablate_threads.cc.o.d"
+  "ablate_threads"
+  "ablate_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_communication.dir/fig6_communication.cc.o"
+  "CMakeFiles/fig6_communication.dir/fig6_communication.cc.o.d"
+  "fig6_communication"
+  "fig6_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_memlatency.dir/fig7_memlatency.cc.o"
+  "CMakeFiles/fig7_memlatency.dir/fig7_memlatency.cc.o.d"
+  "fig7_memlatency"
+  "fig7_memlatency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memlatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fumix.dir/fig8_fumix.cc.o"
+  "CMakeFiles/fig8_fumix.dir/fig8_fumix.cc.o.d"
+  "fig8_fumix"
+  "fig8_fumix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fumix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

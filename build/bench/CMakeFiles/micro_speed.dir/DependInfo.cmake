@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_speed.cc" "bench/CMakeFiles/micro_speed.dir/micro_speed.cc.o" "gcc" "bench/CMakeFiles/micro_speed.dir/micro_speed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/procoup/benchmarks/CMakeFiles/procoup_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/core/CMakeFiles/procoup_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/sched/CMakeFiles/procoup_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/opt/CMakeFiles/procoup_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/ir/CMakeFiles/procoup_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/lang/CMakeFiles/procoup_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/sim/CMakeFiles/procoup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/config/CMakeFiles/procoup_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/isa/CMakeFiles/procoup_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/support/CMakeFiles/procoup_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

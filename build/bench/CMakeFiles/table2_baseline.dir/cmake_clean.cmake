@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_baseline.dir/table2_baseline.cc.o"
+  "CMakeFiles/table2_baseline.dir/table2_baseline.cc.o.d"
+  "table2_baseline"
+  "table2_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

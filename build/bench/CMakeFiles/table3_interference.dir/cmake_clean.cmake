@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_interference.dir/table3_interference.cc.o"
+  "CMakeFiles/table3_interference.dir/table3_interference.cc.o.d"
+  "table3_interference"
+  "table3_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_diagram.dir/pipeline_diagram.cpp.o"
+  "CMakeFiles/pipeline_diagram.dir/pipeline_diagram.cpp.o.d"
+  "pipeline_diagram"
+  "pipeline_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_pipeline.dir/sync_pipeline.cpp.o"
+  "CMakeFiles/sync_pipeline.dir/sync_pipeline.cpp.o.d"
+  "sync_pipeline"
+  "sync_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("procoup/support")
+subdirs("procoup/isa")
+subdirs("procoup/config")
+subdirs("procoup/sim")
+subdirs("procoup/lang")
+subdirs("procoup/ir")
+subdirs("procoup/opt")
+subdirs("procoup/sched")
+subdirs("procoup/core")
+subdirs("procoup/benchmarks")

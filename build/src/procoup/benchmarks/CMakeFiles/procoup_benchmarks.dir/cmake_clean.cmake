@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_benchmarks.dir/fft.cc.o"
+  "CMakeFiles/procoup_benchmarks.dir/fft.cc.o.d"
+  "CMakeFiles/procoup_benchmarks.dir/lud.cc.o"
+  "CMakeFiles/procoup_benchmarks.dir/lud.cc.o.d"
+  "CMakeFiles/procoup_benchmarks.dir/matrix.cc.o"
+  "CMakeFiles/procoup_benchmarks.dir/matrix.cc.o.d"
+  "CMakeFiles/procoup_benchmarks.dir/model.cc.o"
+  "CMakeFiles/procoup_benchmarks.dir/model.cc.o.d"
+  "CMakeFiles/procoup_benchmarks.dir/registry.cc.o"
+  "CMakeFiles/procoup_benchmarks.dir/registry.cc.o.d"
+  "libprocoup_benchmarks.a"
+  "libprocoup_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procoup/config/area.cc" "src/procoup/config/CMakeFiles/procoup_config.dir/area.cc.o" "gcc" "src/procoup/config/CMakeFiles/procoup_config.dir/area.cc.o.d"
+  "/root/repo/src/procoup/config/machine.cc" "src/procoup/config/CMakeFiles/procoup_config.dir/machine.cc.o" "gcc" "src/procoup/config/CMakeFiles/procoup_config.dir/machine.cc.o.d"
+  "/root/repo/src/procoup/config/parse.cc" "src/procoup/config/CMakeFiles/procoup_config.dir/parse.cc.o" "gcc" "src/procoup/config/CMakeFiles/procoup_config.dir/parse.cc.o.d"
+  "/root/repo/src/procoup/config/presets.cc" "src/procoup/config/CMakeFiles/procoup_config.dir/presets.cc.o" "gcc" "src/procoup/config/CMakeFiles/procoup_config.dir/presets.cc.o.d"
+  "/root/repo/src/procoup/config/validate.cc" "src/procoup/config/CMakeFiles/procoup_config.dir/validate.cc.o" "gcc" "src/procoup/config/CMakeFiles/procoup_config.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/procoup/isa/CMakeFiles/procoup_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/lang/CMakeFiles/procoup_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/support/CMakeFiles/procoup_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_config.dir/area.cc.o"
+  "CMakeFiles/procoup_config.dir/area.cc.o.d"
+  "CMakeFiles/procoup_config.dir/machine.cc.o"
+  "CMakeFiles/procoup_config.dir/machine.cc.o.d"
+  "CMakeFiles/procoup_config.dir/parse.cc.o"
+  "CMakeFiles/procoup_config.dir/parse.cc.o.d"
+  "CMakeFiles/procoup_config.dir/presets.cc.o"
+  "CMakeFiles/procoup_config.dir/presets.cc.o.d"
+  "CMakeFiles/procoup_config.dir/validate.cc.o"
+  "CMakeFiles/procoup_config.dir/validate.cc.o.d"
+  "libprocoup_config.a"
+  "libprocoup_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_core.dir/node.cc.o"
+  "CMakeFiles/procoup_core.dir/node.cc.o.d"
+  "libprocoup_core.a"
+  "libprocoup_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procoup/ir/frontend.cc" "src/procoup/ir/CMakeFiles/procoup_ir.dir/frontend.cc.o" "gcc" "src/procoup/ir/CMakeFiles/procoup_ir.dir/frontend.cc.o.d"
+  "/root/repo/src/procoup/ir/ir.cc" "src/procoup/ir/CMakeFiles/procoup_ir.dir/ir.cc.o" "gcc" "src/procoup/ir/CMakeFiles/procoup_ir.dir/ir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/procoup/isa/CMakeFiles/procoup_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/lang/CMakeFiles/procoup_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/support/CMakeFiles/procoup_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_ir.dir/frontend.cc.o"
+  "CMakeFiles/procoup_ir.dir/frontend.cc.o.d"
+  "CMakeFiles/procoup_ir.dir/ir.cc.o"
+  "CMakeFiles/procoup_ir.dir/ir.cc.o.d"
+  "libprocoup_ir.a"
+  "libprocoup_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprocoup_ir.a"
+)

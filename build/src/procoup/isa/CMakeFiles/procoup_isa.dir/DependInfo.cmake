@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procoup/isa/asmtext.cc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/asmtext.cc.o" "gcc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/asmtext.cc.o.d"
+  "/root/repo/src/procoup/isa/builder.cc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/builder.cc.o" "gcc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/builder.cc.o.d"
+  "/root/repo/src/procoup/isa/opcode.cc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/opcode.cc.o" "gcc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/opcode.cc.o.d"
+  "/root/repo/src/procoup/isa/operation.cc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/operation.cc.o" "gcc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/operation.cc.o.d"
+  "/root/repo/src/procoup/isa/program.cc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/program.cc.o" "gcc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/program.cc.o.d"
+  "/root/repo/src/procoup/isa/value.cc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/value.cc.o" "gcc" "src/procoup/isa/CMakeFiles/procoup_isa.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/procoup/support/CMakeFiles/procoup_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_isa.dir/asmtext.cc.o"
+  "CMakeFiles/procoup_isa.dir/asmtext.cc.o.d"
+  "CMakeFiles/procoup_isa.dir/builder.cc.o"
+  "CMakeFiles/procoup_isa.dir/builder.cc.o.d"
+  "CMakeFiles/procoup_isa.dir/opcode.cc.o"
+  "CMakeFiles/procoup_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/procoup_isa.dir/operation.cc.o"
+  "CMakeFiles/procoup_isa.dir/operation.cc.o.d"
+  "CMakeFiles/procoup_isa.dir/program.cc.o"
+  "CMakeFiles/procoup_isa.dir/program.cc.o.d"
+  "CMakeFiles/procoup_isa.dir/value.cc.o"
+  "CMakeFiles/procoup_isa.dir/value.cc.o.d"
+  "libprocoup_isa.a"
+  "libprocoup_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_lang.dir/lexer.cc.o"
+  "CMakeFiles/procoup_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/procoup_lang.dir/parser.cc.o"
+  "CMakeFiles/procoup_lang.dir/parser.cc.o.d"
+  "CMakeFiles/procoup_lang.dir/sexpr.cc.o"
+  "CMakeFiles/procoup_lang.dir/sexpr.cc.o.d"
+  "libprocoup_lang.a"
+  "libprocoup_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

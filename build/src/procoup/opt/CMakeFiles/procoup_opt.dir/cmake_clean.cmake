@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_opt.dir/liveness.cc.o"
+  "CMakeFiles/procoup_opt.dir/liveness.cc.o.d"
+  "CMakeFiles/procoup_opt.dir/passes.cc.o"
+  "CMakeFiles/procoup_opt.dir/passes.cc.o.d"
+  "libprocoup_opt.a"
+  "libprocoup_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

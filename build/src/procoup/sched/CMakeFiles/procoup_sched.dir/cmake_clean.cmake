@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_sched.dir/compiler.cc.o"
+  "CMakeFiles/procoup_sched.dir/compiler.cc.o.d"
+  "CMakeFiles/procoup_sched.dir/report.cc.o"
+  "CMakeFiles/procoup_sched.dir/report.cc.o.d"
+  "CMakeFiles/procoup_sched.dir/scheduler.cc.o"
+  "CMakeFiles/procoup_sched.dir/scheduler.cc.o.d"
+  "libprocoup_sched.a"
+  "libprocoup_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

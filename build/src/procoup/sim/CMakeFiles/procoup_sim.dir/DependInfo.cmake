@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procoup/sim/alu.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/alu.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/alu.cc.o.d"
+  "/root/repo/src/procoup/sim/interconnect.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/interconnect.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/interconnect.cc.o.d"
+  "/root/repo/src/procoup/sim/memory.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/memory.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/memory.cc.o.d"
+  "/root/repo/src/procoup/sim/opcache.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/opcache.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/opcache.cc.o.d"
+  "/root/repo/src/procoup/sim/regfile.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/regfile.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/regfile.cc.o.d"
+  "/root/repo/src/procoup/sim/simulator.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/simulator.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/procoup/sim/stats.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/stats.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/stats.cc.o.d"
+  "/root/repo/src/procoup/sim/thread.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/thread.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/thread.cc.o.d"
+  "/root/repo/src/procoup/sim/trace.cc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/trace.cc.o" "gcc" "src/procoup/sim/CMakeFiles/procoup_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/procoup/config/CMakeFiles/procoup_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/isa/CMakeFiles/procoup_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/support/CMakeFiles/procoup_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/procoup/lang/CMakeFiles/procoup_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_sim.dir/alu.cc.o"
+  "CMakeFiles/procoup_sim.dir/alu.cc.o.d"
+  "CMakeFiles/procoup_sim.dir/interconnect.cc.o"
+  "CMakeFiles/procoup_sim.dir/interconnect.cc.o.d"
+  "CMakeFiles/procoup_sim.dir/memory.cc.o"
+  "CMakeFiles/procoup_sim.dir/memory.cc.o.d"
+  "CMakeFiles/procoup_sim.dir/opcache.cc.o"
+  "CMakeFiles/procoup_sim.dir/opcache.cc.o.d"
+  "CMakeFiles/procoup_sim.dir/regfile.cc.o"
+  "CMakeFiles/procoup_sim.dir/regfile.cc.o.d"
+  "CMakeFiles/procoup_sim.dir/simulator.cc.o"
+  "CMakeFiles/procoup_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/procoup_sim.dir/stats.cc.o"
+  "CMakeFiles/procoup_sim.dir/stats.cc.o.d"
+  "CMakeFiles/procoup_sim.dir/thread.cc.o"
+  "CMakeFiles/procoup_sim.dir/thread.cc.o.d"
+  "CMakeFiles/procoup_sim.dir/trace.cc.o"
+  "CMakeFiles/procoup_sim.dir/trace.cc.o.d"
+  "libprocoup_sim.a"
+  "libprocoup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

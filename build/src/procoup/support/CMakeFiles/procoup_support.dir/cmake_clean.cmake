@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procoup_support.dir/error.cc.o"
+  "CMakeFiles/procoup_support.dir/error.cc.o.d"
+  "CMakeFiles/procoup_support.dir/rng.cc.o"
+  "CMakeFiles/procoup_support.dir/rng.cc.o.d"
+  "CMakeFiles/procoup_support.dir/strings.cc.o"
+  "CMakeFiles/procoup_support.dir/strings.cc.o.d"
+  "CMakeFiles/procoup_support.dir/table.cc.o"
+  "CMakeFiles/procoup_support.dir/table.cc.o.d"
+  "libprocoup_support.a"
+  "libprocoup_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procoup_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

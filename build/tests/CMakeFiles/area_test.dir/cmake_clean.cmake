@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_test.dir/area_test.cc.o"
+  "CMakeFiles/area_test.dir/area_test.cc.o.d"
+  "area_test"
+  "area_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

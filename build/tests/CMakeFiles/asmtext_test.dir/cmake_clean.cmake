@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmtext_test.dir/asmtext_test.cc.o"
+  "CMakeFiles/asmtext_test.dir/asmtext_test.cc.o.d"
+  "asmtext_test"
+  "asmtext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmtext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_run_test.dir/compile_run_test.cc.o"
+  "CMakeFiles/compile_run_test.dir/compile_run_test.cc.o.d"
+  "compile_run_test"
+  "compile_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_parse_test.dir/config_parse_test.cc.o"
+  "CMakeFiles/config_parse_test.dir/config_parse_test.cc.o.d"
+  "config_parse_test"
+  "config_parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

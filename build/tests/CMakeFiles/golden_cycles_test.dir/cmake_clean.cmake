@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_cycles_test.dir/golden_cycles_test.cc.o"
+  "CMakeFiles/golden_cycles_test.dir/golden_cycles_test.cc.o.d"
+  "golden_cycles_test"
+  "golden_cycles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_cycles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

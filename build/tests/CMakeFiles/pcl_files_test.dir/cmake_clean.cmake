@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcl_files_test.dir/pcl_files_test.cc.o"
+  "CMakeFiles/pcl_files_test.dir/pcl_files_test.cc.o.d"
+  "pcl_files_test"
+  "pcl_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcl_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

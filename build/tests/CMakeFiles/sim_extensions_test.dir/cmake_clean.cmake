@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_extensions_test.dir/sim_extensions_test.cc.o"
+  "CMakeFiles/sim_extensions_test.dir/sim_extensions_test.cc.o.d"
+  "sim_extensions_test"
+  "sim_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

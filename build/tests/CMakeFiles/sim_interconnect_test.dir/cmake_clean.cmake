@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_interconnect_test.dir/sim_interconnect_test.cc.o"
+  "CMakeFiles/sim_interconnect_test.dir/sim_interconnect_test.cc.o.d"
+  "sim_interconnect_test"
+  "sim_interconnect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_interconnect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_memory_property_test.dir/sim_memory_property_test.cc.o"
+  "CMakeFiles/sim_memory_property_test.dir/sim_memory_property_test.cc.o.d"
+  "sim_memory_property_test"
+  "sim_memory_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_memory_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

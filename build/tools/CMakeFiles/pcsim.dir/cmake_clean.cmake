@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcsim.dir/pcsim.cc.o"
+  "CMakeFiles/pcsim.dir/pcsim.cc.o.d"
+  "pcsim"
+  "pcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
