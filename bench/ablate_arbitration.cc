@@ -32,8 +32,9 @@ avgIterationCycles(const sim::RunStats& stats, int thread)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     std::printf("Ablation: fixed-priority vs round-robin arbitration\n"
                 "\nPer-thread interference (queue-based Model, 4 "
                 "workers):\n\n");

@@ -19,8 +19,9 @@
 using namespace procoup;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     std::printf("Ablation: operation-cache size "
                 "(Coupled mode; 4 rows/line, 8-cycle miss)\n\n");
 

@@ -37,8 +37,9 @@ run(const core::BenchmarkSource& bm, core::SimMode mode, int clones)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     std::printf("Ablation: thread-function clones for static load "
                 "balancing\n(clones=4: one per arithmetic cluster, "
                 "the default; clones=1: none)\n\n");

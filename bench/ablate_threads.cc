@@ -18,8 +18,9 @@
 using namespace procoup;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     std::printf("Ablation: active-set size (Coupled mode cycles)\n\n");
 
     TextTable t;

@@ -5,19 +5,92 @@
  * @file
  * Shared helpers for the experiment harnesses that regenerate the
  * paper's tables and figures.
+ *
+ * Every harness that routes its runs through runVerified() supports
+ * `--stats-json FILE` (or `=FILE`): each verified run's full
+ * stall-cause attribution is appended to a JSON bundle written at
+ * exit, so any Table/Figure regeneration can also dump where its
+ * FU-cycles went. Call statsInit(argc, argv) first thing in main().
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "procoup/benchmarks/benchmarks.hh"
 #include "procoup/config/presets.hh"
 #include "procoup/core/node.hh"
+#include "procoup/sched/report.hh"
 #include "procoup/support/strings.hh"
 #include "procoup/support/table.hh"
 
 namespace procoup {
 namespace bench {
+
+namespace detail {
+
+struct StatsSink
+{
+    std::string path;
+    std::vector<std::string> entries;  ///< pre-rendered JSON objects
+};
+
+inline StatsSink&
+statsSink()
+{
+    static StatsSink sink;
+    return sink;
+}
+
+inline void
+flushStats()
+{
+    StatsSink& sink = statsSink();
+    if (sink.path.empty())
+        return;
+    std::ofstream out(sink.path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", sink.path.c_str());
+        return;
+    }
+    out << "{\"schema\": \"procoup-stats-bundle/1\", \"runs\": [\n";
+    for (std::size_t i = 0; i < sink.entries.size(); ++i)
+        out << (i ? ",\n" : "") << sink.entries[i];
+    out << "\n]}\n";
+}
+
+} // namespace detail
+
+/** Enable `--stats-json FILE` for this harness (see file header). */
+inline void
+statsInit(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--stats-json=", 0) == 0)
+            detail::statsSink().path = a.substr(13);
+        else if (a == "--stats-json" && i + 1 < argc)
+            detail::statsSink().path = argv[++i];
+    }
+    if (!detail::statsSink().path.empty())
+        std::atexit(detail::flushStats);
+}
+
+/** Append one labeled run to the pending stats bundle (no-op unless
+ *  statsInit saw --stats-json). */
+inline void
+recordStats(const std::string& label,
+            const config::MachineConfig& machine,
+            const sim::RunStats& stats)
+{
+    if (detail::statsSink().path.empty())
+        return;
+    detail::statsSink().entries.push_back(
+        strCat("{\"label\": ", jsonQuote(label), ",\n\"stats\": ",
+               sched::formatStatsJson(stats, machine), "}"));
+}
 
 /** Run one benchmark in one mode on one machine, verifying results. */
 inline core::RunResult
@@ -34,6 +107,9 @@ runVerified(const config::MachineConfig& machine,
                      why.c_str());
         std::exit(1);
     }
+    recordStats(strCat(b.name, "/", core::simModeName(mode), "@",
+                       machine.name),
+                machine, r.stats);
     return r;
 }
 

@@ -12,8 +12,9 @@
 using namespace procoup;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     const auto machine = config::baseline();
     std::printf("Figure 5: function unit utilization "
                 "(ops/cycle per unit class)\n\n");

@@ -17,8 +17,9 @@
 using namespace procoup;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     const std::vector<config::InterconnectScheme> schemes = {
         config::InterconnectScheme::Full,
         config::InterconnectScheme::TriPort,

@@ -16,8 +16,9 @@
 using namespace procoup;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     struct MemCase
     {
         const char* name;

@@ -15,8 +15,9 @@
 using namespace procoup;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     std::printf("Figure 8: number and mix of function units "
                 "(Coupled mode)\n");
     std::printf("4 memory units, 1 branch unit; cycle count by "

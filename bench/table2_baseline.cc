@@ -15,8 +15,9 @@
 using namespace procoup;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     const auto machine = config::baseline();
     std::printf("Table 2 / Figure 4: baseline comparisons\n");
     std::printf("machine: 4 arithmetic clusters (IU+FPU+MEM) + 2 branch"

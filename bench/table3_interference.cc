@@ -46,8 +46,9 @@ devicesEvaluated(const sim::RunStats& stats, int thread)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::statsInit(argc, argv);
     const auto machine = config::baseline();
     const auto sources = benchmarks::modelQueue();
     core::CoupledNode node(machine);

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Validate pcsim --stats-json output against the documented schema.
+
+Runs the Table 2 baseline workloads (all four paper benchmarks) on the
+four paper machine configurations (baseline memory, min, Mem1, Mem2),
+asks pcsim for --stats-json, and checks:
+
+  * the output is valid JSON with schema "procoup-stats/1";
+  * every required key is present with the right type/shape;
+  * the stall-cause taxonomy matches the canonical seven causes;
+  * the conservation invariant holds at every level:
+        cycles * numFus == issued + sum(stalls)
+    per FU, per cluster, and machine-wide;
+  * per-thread opsIssued sums to the global operation count.
+
+Registered as a ctest (stats_schema_check) so `ctest -j` covers it.
+Documented in docs/INTERNALS.md ("Observability").
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+CAUSES = [
+    "issued",
+    "no-ready-op",
+    "operand-not-ready",
+    "writeback-port-conflict",
+    "memory-bank-busy",
+    "opcache-miss",
+    "idle-no-thread",
+]
+
+BENCHMARKS = ["Matrix", "FFT", "LUD", "Model"]
+MACHINES = {
+    "baseline": [],
+    "mem-min": ["--mem", "min"],
+    "mem1": ["--mem", "mem1"],
+    "mem2": ["--mem", "mem2"],
+}
+
+FAILURES = []
+
+
+def check(cond, label, message):
+    if not cond:
+        FAILURES.append(f"{label}: {message}")
+
+
+def expect_keys(label, obj, keys):
+    for key, typ in keys.items():
+        check(key in obj, label, f"missing key '{key}'")
+        if key in obj:
+            check(
+                isinstance(obj[key], typ),
+                label,
+                f"'{key}' has type {type(obj[key]).__name__}, "
+                f"expected {typ}",
+            )
+
+
+def validate(label, doc):
+    expect_keys(
+        label,
+        doc,
+        {
+            "schema": str,
+            "machine": dict,
+            "cycles": int,
+            "totalOps": int,
+            "threadsSpawned": int,
+            "peakActiveThreads": int,
+            "opsByUnit": dict,
+            "opsByFu": list,
+            "memory": dict,
+            "opcache": dict,
+            "writeback": dict,
+            "stalls": dict,
+            "threads": list,
+            "invariant": dict,
+        },
+    )
+    if FAILURES:
+        return
+
+    check(doc["schema"] == "procoup-stats/1", label, "wrong schema id")
+
+    machine = doc["machine"]
+    expect_keys(
+        label + ".machine",
+        machine,
+        {"name": str, "clusters": int, "fus": int,
+         "interconnect": str, "arbitration": str},
+    )
+    expect_keys(
+        label + ".memory",
+        doc["memory"],
+        {"accesses": int, "hits": int, "misses": int, "parked": int,
+         "parkedCycles": int, "bankDelayCycles": int},
+    )
+    expect_keys(
+        label + ".opcache",
+        doc["opcache"],
+        {"hits": int, "misses": int, "lineWaitCycles": int},
+    )
+    expect_keys(
+        label + ".writeback",
+        doc["writeback"],
+        {"writebacks": int, "remoteWrites": int, "stallCycles": int,
+         "grantsByCluster": list, "denialsByCluster": list},
+    )
+
+    stalls = doc["stalls"]
+    expect_keys(
+        label + ".stalls",
+        stalls,
+        {"causes": list, "total": list, "byCluster": list,
+         "byFu": list},
+    )
+    check(stalls["causes"] == CAUSES, label,
+          f"taxonomy mismatch: {stalls['causes']}")
+
+    fus = machine["fus"]
+    cycles = doc["cycles"]
+    check(len(doc["opsByFu"]) == fus, label, "opsByFu length != fus")
+    check(len(stalls["byFu"]) == fus, label, "stalls.byFu length != fus")
+    check(
+        len(stalls["byCluster"]) == machine["clusters"],
+        label,
+        "stalls.byCluster length != clusters",
+    )
+
+    # The conservation identity, at every level.
+    n = len(CAUSES)
+    check(len(stalls["total"]) == n, label, "stalls.total arity")
+    check(
+        sum(stalls["total"]) == cycles * fus,
+        label,
+        f"cycles*fus == {cycles * fus} but accounted "
+        f"{sum(stalls['total'])}",
+    )
+    check(stalls["total"][0] == doc["totalOps"], label,
+          "issued bucket != totalOps")
+
+    col_sums = [0] * n
+    for rec in stalls["byFu"]:
+        expect_keys(label + ".stalls.byFu[]", rec,
+                    {"fu": int, "cluster": int, "type": str,
+                     "counts": list})
+        counts = rec["counts"]
+        check(len(counts) == n, label, "per-FU counts arity")
+        check(
+            sum(counts) == cycles,
+            label,
+            f"fu {rec['fu']} accounts {sum(counts)} != cycles {cycles}",
+        )
+        check(counts[0] == doc["opsByFu"][rec["fu"]], label,
+              f"fu {rec['fu']} issued != opsByFu")
+        for k, v in enumerate(counts):
+            col_sums[k] += v
+    check(col_sums == stalls["total"], label,
+          "per-FU totals disagree with stalls.total")
+
+    cl_sums = [0] * n
+    for counts in stalls["byCluster"]:
+        for k, v in enumerate(counts):
+            cl_sums[k] += v
+    check(cl_sums == stalls["total"], label,
+          "per-cluster totals disagree with stalls.total")
+
+    thread_ops = 0
+    for t in doc["threads"]:
+        expect_keys(label + ".threads[]", t,
+                    {"id": int, "name": str, "spawnCycle": int,
+                     "endCycle": int, "opsIssued": int, "stalls": list})
+        check(t["stalls"][0] == t["opsIssued"], label,
+              f"thread {t['id']} issued bucket != opsIssued")
+        thread_ops += t["opsIssued"]
+    check(thread_ops == doc["totalOps"], label,
+          f"thread opsIssued sum {thread_ops} != totalOps "
+          f"{doc['totalOps']}")
+
+    inv = doc["invariant"]
+    expect_keys(label + ".invariant", inv,
+                {"fuCycles": int, "accounted": int, "balanced": bool})
+    check(inv["balanced"] is True, label,
+          "simulator reports unbalanced accounting")
+    check(inv["fuCycles"] == inv["accounted"] == cycles * fus, label,
+          "invariant block inconsistent")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--pcsim", required=True,
+                    help="path to the pcsim binary")
+    args = ap.parse_args()
+
+    for mname, mflags in MACHINES.items():
+        for bench in BENCHMARKS:
+            label = f"{bench}@{mname}"
+            with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+                cmd = [args.pcsim, "--benchmark", bench, "--mode",
+                       "coupled", "--verify",
+                       "--stats-json", tmp.name] + mflags
+                proc = subprocess.run(cmd, capture_output=True,
+                                      text=True)
+                check(proc.returncode == 0, label,
+                      f"pcsim failed: {proc.stderr.strip()}")
+                if proc.returncode != 0:
+                    continue
+                try:
+                    doc = json.load(open(tmp.name))
+                except json.JSONDecodeError as e:
+                    check(False, label, f"invalid JSON: {e}")
+                    continue
+                validate(label, doc)
+
+    if FAILURES:
+        for f in FAILURES:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(MACHINES) * len(BENCHMARKS)} stats documents "
+          "validated against procoup-stats/1")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

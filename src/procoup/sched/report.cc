@@ -51,5 +51,135 @@ formatDiagnostics(const CompileResult& result)
                   result.peakRegistersPerCluster(), "\n");
 }
 
+namespace {
+
+std::string
+jsonUintArray(const std::vector<std::uint64_t>& v)
+{
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        s += strCat(i ? "," : "", v[i]);
+    return s + "]";
+}
+
+std::string
+jsonStallCounts(const sim::StallCounts& c)
+{
+    std::string s = "[";
+    for (int k = 0; k < sim::numStallCauses; ++k)
+        s += strCat(k ? "," : "", c[k]);
+    return s + "]";
+}
+
+} // namespace
+
+std::string
+formatStatsJson(const sim::RunStats& stats,
+                const config::MachineConfig& machine)
+{
+    using sim::StallCause;
+    std::string s = "{\n";
+    s += "  \"schema\": \"procoup-stats/1\",\n";
+
+    s += strCat("  \"machine\": {\"name\": ",
+                jsonQuote(machine.name),
+                ", \"clusters\": ", machine.clusters.size(),
+                ", \"fus\": ", machine.numFus(),
+                ", \"interconnect\": ",
+                jsonQuote(interconnectSchemeName(machine.interconnect)),
+                ", \"arbitration\": ",
+                jsonQuote(arbitrationPolicyName(machine.arbitration)),
+                "},\n");
+
+    s += strCat("  \"cycles\": ", stats.cycles,
+                ", \"totalOps\": ", stats.totalOps,
+                ", \"threadsSpawned\": ", stats.threadsSpawned,
+                ", \"peakActiveThreads\": ", stats.peakActiveThreads,
+                ",\n");
+
+    s += "  \"opsByUnit\": {";
+    for (int t = 0; t < isa::numUnitTypes; ++t) {
+        const auto ut = static_cast<isa::UnitType>(t);
+        s += strCat(t ? ", " : "", jsonQuote(unitTypeName(ut)), ": ",
+                    stats.opsByUnit[t]);
+    }
+    s += "},\n";
+
+    s += strCat("  \"opsByFu\": ", jsonUintArray(stats.opsByFu),
+                ",\n");
+
+    s += strCat("  \"memory\": {\"accesses\": ", stats.memAccesses,
+                ", \"hits\": ", stats.memHits,
+                ", \"misses\": ", stats.memMisses,
+                ", \"parked\": ", stats.memParked,
+                ", \"parkedCycles\": ", stats.memParkedCycles,
+                ", \"bankDelayCycles\": ", stats.memBankDelayCycles,
+                "},\n");
+
+    s += strCat("  \"opcache\": {\"hits\": ", stats.opCacheHits,
+                ", \"misses\": ", stats.opCacheMisses,
+                ", \"lineWaitCycles\": ",
+                stats.opCacheLineWaitCycles, "},\n");
+
+    s += strCat("  \"writeback\": {\"writebacks\": ",
+                stats.writebacks,
+                ", \"remoteWrites\": ", stats.remoteWrites,
+                ", \"stallCycles\": ", stats.writebackStallCycles,
+                ", \"grantsByCluster\": ",
+                jsonUintArray(stats.wbGrantsByCluster),
+                ", \"denialsByCluster\": ",
+                jsonUintArray(stats.wbDenialsByCluster), "},\n");
+
+    s += "  \"stalls\": {\n    \"causes\": [";
+    for (int k = 0; k < sim::numStallCauses; ++k)
+        s += strCat(k ? ", " : "",
+                    jsonQuote(stallCauseName(
+                        static_cast<StallCause>(k))));
+    s += "],\n";
+    s += strCat("    \"total\": ",
+                jsonStallCounts(stats.stallsTotal), ",\n");
+    s += "    \"byCluster\": [";
+    for (std::size_t c = 0; c < stats.stallsByCluster.size(); ++c)
+        s += strCat(c ? "," : "",
+                    jsonStallCounts(stats.stallsByCluster[c]));
+    s += "],\n    \"byFu\": [";
+    for (std::size_t fu = 0; fu < stats.stallsByFu.size(); ++fu) {
+        const int ifu = static_cast<int>(fu);
+        s += strCat(fu ? ",\n             " : "",
+                    "{\"fu\": ", fu,
+                    ", \"cluster\": ", machine.fuCluster(ifu),
+                    ", \"type\": ",
+                    jsonQuote(unitTypeName(
+                        machine.fuConfig(ifu).type)),
+                    ", \"counts\": ",
+                    jsonStallCounts(stats.stallsByFu[fu]), "}");
+    }
+    s += "]\n  },\n";
+
+    s += "  \"threads\": [";
+    for (std::size_t i = 0; i < stats.threads.size(); ++i) {
+        const auto& t = stats.threads[i];
+        s += strCat(i ? ",\n              " : "",
+                    "{\"id\": ", i,
+                    ", \"name\": ", jsonQuote(t.name),
+                    ", \"spawnCycle\": ", t.spawnCycle,
+                    ", \"endCycle\": ", t.endCycle,
+                    ", \"opsIssued\": ", t.opsIssued,
+                    ", \"stalls\": ", jsonStallCounts(t.stalls),
+                    "}");
+    }
+    s += "],\n";
+
+    const std::uint64_t fu_cycles =
+        stats.cycles * stats.stallsByFu.size();
+    s += strCat("  \"invariant\": {\"fuCycles\": ", fu_cycles,
+                ", \"accounted\": ",
+                sim::stallCountsTotal(stats.stallsTotal),
+                ", \"balanced\": ",
+                stats.accountingBalanced() ? "true" : "false",
+                "}\n}\n");
+    return s;
+}
+
 } // namespace sched
 } // namespace procoup

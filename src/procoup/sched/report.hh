@@ -14,6 +14,7 @@
 #include "procoup/config/machine.hh"
 #include "procoup/isa/program.hh"
 #include "procoup/sched/compiler.hh"
+#include "procoup/sim/stats.hh"
 
 namespace procoup {
 namespace sched {
@@ -28,6 +29,19 @@ std::string formatSchedule(const isa::ThreadCode& code,
 /** Compiler diagnostics for a whole compile: per-function schedule
  *  lengths, operation counts, copies, and register peaks. */
 std::string formatDiagnostics(const CompileResult& result);
+
+/**
+ * Machine-readable run report: schema "procoup-stats/1".
+ *
+ * Emits cycles, operation counts, utilization, memory/op-cache/
+ * writeback counters, per-thread summaries, and the full stall-cause
+ * attribution (machine total, per cluster, per function unit), plus a
+ * self-check block restating the conservation identity
+ * cycles × numFus == issued + Σ stalls. The schema is documented in
+ * docs/INTERNALS.md and validated by scripts/check_stats_schema.py.
+ */
+std::string formatStatsJson(const sim::RunStats& stats,
+                            const config::MachineConfig& machine);
 
 } // namespace sched
 } // namespace procoup

@@ -18,6 +18,8 @@ WritebackNetwork::WritebackNetwork(config::InterconnectScheme scheme,
       localLeft(num_clusters, 0), globalLeft(num_clusters, 0)
 {
     PROCOUP_ASSERT(num_clusters > 0, "machine with no clusters");
+    _stats.grantsByCluster.assign(num_clusters, 0);
+    _stats.denialsByCluster.assign(num_clusters, 0);
     beginCycle();
 }
 
@@ -86,11 +88,13 @@ WritebackNetwork::tryGrant(int src_cluster, int dst_cluster)
             --globalLeft[dst_cluster];
         } else {
             ++_stats.denials;
+            ++_stats.denialsByCluster[dst_cluster];
             return false;
         }
     } else {
         if (globalLeft[dst_cluster] <= 0 || busLeft <= 0) {
             ++_stats.denials;
+            ++_stats.denialsByCluster[dst_cluster];
             return false;
         }
         --globalLeft[dst_cluster];
@@ -98,6 +102,7 @@ WritebackNetwork::tryGrant(int src_cluster, int dst_cluster)
     }
 
     ++_stats.grants;
+    ++_stats.grantsByCluster[dst_cluster];
     if (!is_local)
         ++_stats.remoteGrants;
     return true;

@@ -33,6 +33,10 @@ struct InterconnectStats
     std::uint64_t grants = 0;
     std::uint64_t remoteGrants = 0;
     std::uint64_t denials = 0;  ///< request-cycles denied by arbitration
+
+    /** Grants/denials per destination cluster (write-port pressure). */
+    std::vector<std::uint64_t> grantsByCluster;
+    std::vector<std::uint64_t> denialsByCluster;
 };
 
 /** Cycle-by-cycle write-port/bus arbiter. */

@@ -58,6 +58,9 @@ MemorySystem::schedule(std::uint64_t cycle, std::uint32_t addr)
 
     if (cfg.modelBankConflicts) {
         const std::uint32_t bank = addr % bankBusyUntil.size();
+        if (bankBusyUntil[bank] + 1 > arrival)
+            _stats.bankDelayCycles +=
+                bankBusyUntil[bank] + 1 - arrival;
         arrival = std::max(arrival, bankBusyUntil[bank] + 1);
         bankBusyUntil[bank] = arrival;
     }
@@ -214,6 +217,27 @@ bool
 MemorySystem::idle() const
 {
     return inFlight.empty() && parked.empty();
+}
+
+bool
+MemorySystem::hasPendingWrite(int thread, const isa::RegRef& dst) const
+{
+    auto targets = [&](const Transaction& tx) {
+        if (!tx.isLoad || tx.thread != thread)
+            return false;
+        for (const auto& d : tx.dsts)
+            if (d == dst)
+                return true;
+        return false;
+    };
+    for (const auto& [arrival, tx] : inFlight)
+        if (targets(tx))
+            return true;
+    for (const auto& [addr, q] : parked)
+        for (const auto& tx : q)
+            if (targets(tx))
+                return true;
+    return false;
 }
 
 std::size_t

@@ -51,6 +51,7 @@ struct MemoryStats
     std::uint64_t misses = 0;
     std::uint64_t parked = 0;
     std::uint64_t parkedCycles = 0;
+    std::uint64_t bankDelayCycles = 0; ///< arrival delay from bank conflicts
 };
 
 /** The banked, presence-bit memory of one processor-coupled node. */
@@ -83,6 +84,14 @@ class MemorySystem
 
     /** Number of parked (synchronization-blocked) references. */
     std::size_t parkedCount() const;
+
+    /**
+     * Does an outstanding (in-flight or parked) load of @p thread
+     * target register @p dst? Used by stall attribution: an issue
+     * blocked on such a register is waiting on the memory system, not
+     * on a function-unit pipeline.
+     */
+    bool hasPendingWrite(int thread, const isa::RegRef& dst) const;
 
     /** Debug/readback access. */
     const isa::Value& peek(std::uint32_t addr) const;

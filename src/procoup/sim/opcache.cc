@@ -34,8 +34,10 @@ OpCaches::present(int fu, std::uint32_t code, std::uint32_t row,
 
     Line& l = lines[fu][set];
     if (l.valid && l.tag == tag) {
-        if (cycle < l.readyCycle)
-            return false;  // line still in flight
+        if (cycle < l.readyCycle) {
+            ++_stats.lineWaitCycles;  // line still in flight
+            return false;
+        }
         ++_stats.hits;
         return true;
     }
@@ -43,8 +45,10 @@ OpCaches::present(int fu, std::uint32_t code, std::uint32_t row,
     // A line still being fetched cannot be evicted, or two conflicting
     // requesters would restart each other's fetches forever (livelock);
     // the loser waits for the fetch to land and evicts afterwards.
-    if (l.valid && cycle < l.readyCycle)
+    if (l.valid && cycle < l.readyCycle) {
+        ++_stats.lineWaitCycles;
         return false;
+    }
 
     ++_stats.misses;
     l.valid = true;

@@ -31,6 +31,10 @@ struct OpCacheStats
 {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+
+    /** Lookup-cycles spent waiting on a line already being fetched
+     *  (neither a hit nor a new miss). */
+    std::uint64_t lineWaitCycles = 0;
 };
 
 /** The operation caches of all function units of one node. */

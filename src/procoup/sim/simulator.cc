@@ -31,6 +31,9 @@ Simulator::Simulator(const config::MachineConfig& machine,
         fus.push_back(f);
     }
     _stats.opsByFu.assign(fus.size(), 0);
+    _stats.stallsByFu.assign(fus.size(), StallCounts{});
+    _stats.stallsByCluster.assign(machine.clusters.size(),
+                                  StallCounts{});
     rrLastThread.assign(fus.size(), -1);
 
     mem = std::make_unique<MemorySystem>(machine.memory,
@@ -58,6 +61,7 @@ Simulator::spawnThread(std::uint32_t fork_target,
         activeList.push_back(id);
     trace(TraceEvent::Kind::Spawn, id, -1, code.name);
     threads.push_back(std::move(t));
+    threadStalls.push_back(StallCounts{});
     ++_stats.threadsSpawned;
     progressThisCycle = true;
 }
@@ -107,6 +111,62 @@ Simulator::trace(TraceEvent::Kind kind, int thread, int fu,
     e.fu = fu;
     e.detail = std::move(detail);
     tracer(e);
+}
+
+void
+Simulator::noteFuCycle(int fu, int thread, StallCause cause)
+{
+    const int k = static_cast<int>(cause);
+    ++_stats.stallsByFu[fu][k];
+    ++_stats.stallsByCluster[fus[fu].cluster][k];
+    ++_stats.stallsTotal[k];
+    if (thread >= 0)
+        ++threadStalls[thread][k];
+    if (cause != StallCause::Issued && traceStalls && tracer) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::Stall;
+        e.cycle = _cycle;
+        e.thread = thread;
+        e.fu = fu;
+        e.cause = cause;
+        tracer(e);
+    }
+}
+
+StallCause
+Simulator::classifyOperandStall(const ThreadContext& t,
+                                const Operation& op) const
+{
+    // The blocking register: the first invalid source, or — for the
+    // WAW scoreboard interlock — the first still-outstanding
+    // destination.
+    const isa::RegRef* blocker = nullptr;
+    for (const auto& src : op.srcs) {
+        if (src.isReg() && !t.regs().isValid(src.reg())) {
+            blocker = &src.reg();
+            break;
+        }
+    }
+    if (!blocker) {
+        for (const auto& dst : op.dsts) {
+            if (!t.regs().isValid(dst)) {
+                blocker = &dst;
+                break;
+            }
+        }
+    }
+    PROCOUP_ASSERT(blocker != nullptr,
+                   "operand stall without an invalid register");
+
+    // Where is the outstanding write? Produced but stuck in writeback
+    // arbitration beats "still being produced": the value exists, only
+    // the interconnect withholds it.
+    for (const auto& e : wbQueue)
+        if (e.thread == t.id() && e.dst == *blocker)
+            return StallCause::WritebackConflict;
+    if (mem->hasPendingWrite(t.id(), *blocker))
+        return StallCause::MemoryBusy;
+    return StallCause::OperandNotReady;
 }
 
 void
@@ -189,6 +249,7 @@ Simulator::executeIssue(const IssueDecision& d)
 
     t.markIssued(d.slot);
     t.noteIssue(_cycle);
+    noteFuCycle(d.fu, t.id(), StallCause::Issued);
     ++_stats.opsByFu[d.fu];
     ++_stats.opsByUnit[static_cast<int>(fu.type)];
     ++_stats.totalOps;
@@ -300,18 +361,25 @@ Simulator::step()
             if (start == n)
                 start = 0;
         }
-        for (std::size_t k = 0; k < n; ++k) {
+        // Stall attribution: if the unit issues nothing, its slot is
+        // charged to the unit's highest-priority blocked candidate
+        // (in the same scan order arbitration used), or to
+        // NoReadyOp/IdleNoThread when no candidate exists at all.
+        bool taken = false;
+        int blockedThread = -1;
+        StallCause blockedCause = StallCause::NoReadyOp;
+        for (std::size_t k = 0; k < n && !taken; ++k) {
             const int ti = activeList[(start + k) % n];
             ThreadContext& t = *threads[ti];
             const auto& inst = t.currentInstruction();
-            bool taken = false;
             for (std::size_t s = 0; s < inst.slots.size(); ++s) {
                 if (inst.slots[s].fu != fu || t.slotIssued(s))
                     continue;
                 // Operand check first: fetching a line for an
                 // operation that cannot issue anyway would evict
                 // lines other threads are about to use.
-                if (operandsReady(t, inst.slots[s].op) &&
+                const bool ready = operandsReady(t, inst.slots[s].op);
+                if (ready &&
                     opCaches.present(static_cast<int>(fu),
                                      t.codeIndex(),
                                      static_cast<std::uint32_t>(
@@ -321,11 +389,23 @@ Simulator::step()
                                          static_cast<int>(ti), s});
                     taken = true;
                     rrLastThread[fu] = ti;
+                } else if (blockedThread < 0) {
+                    blockedThread = ti;
+                    blockedCause =
+                        ready ? StallCause::OpcacheMiss
+                              : classifyOperandStall(
+                                    t, inst.slots[s].op);
                 }
                 break;  // at most one op per (thread, fu) per row
             }
-            if (taken)
-                break;  // unit granted to this thread this cycle
+        }
+        if (!taken) {
+            if (n == 0)
+                noteFuCycle(static_cast<int>(fu), -1,
+                            StallCause::IdleNoThread);
+            else
+                noteFuCycle(static_cast<int>(fu), blockedThread,
+                            blockedCause);
         }
     }
     for (const auto& d : decisions)
@@ -484,8 +564,12 @@ Simulator::stats() const
     out.memMisses = ms.misses;
     out.memParked = ms.parked;
     out.memParkedCycles = ms.parkedCycles;
+    out.memBankDelayCycles = ms.bankDelayCycles;
     out.opCacheHits = opCaches.stats().hits;
     out.opCacheMisses = opCaches.stats().misses;
+    out.opCacheLineWaitCycles = opCaches.stats().lineWaitCycles;
+    out.wbGrantsByCluster = network.stats().grantsByCluster;
+    out.wbDenialsByCluster = network.stats().denialsByCluster;
 
     out.threads.clear();
     for (const auto& t : threads) {
@@ -494,6 +578,7 @@ Simulator::stats() const
         ts.spawnCycle = t->spawnCycle();
         ts.endCycle = t->endCycle();
         ts.opsIssued = t->opsIssued();
+        ts.stalls = threadStalls[static_cast<std::size_t>(t->id())];
         out.threads.push_back(ts);
     }
     return out;

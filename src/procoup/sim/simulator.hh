@@ -79,6 +79,10 @@ class Simulator
     /** Install (or clear, with nullptr) a trace sink. */
     void setTracer(TraceFn fn) { tracer = std::move(fn); }
 
+    /** Also emit one Stall event per attributed empty FU-cycle.
+     *  Off by default: stall events outnumber issues on most runs. */
+    void setTraceStalls(bool on) { traceStalls = on; }
+
   private:
     struct FuState
     {
@@ -131,6 +135,24 @@ class Simulator
                                         const isa::Operation& op) const;
     void trace(TraceEvent::Kind kind, int thread, int fu,
                std::string detail);
+
+    /**
+     * Charge function unit @p fu's slot for the current cycle to
+     * exactly one StallCause bucket (per FU, per cluster, machine
+     * total, and — when a thread is implicated — per thread).
+     * Called exactly once per FU per cycle, making the conservation
+     * identity cycles × numFus == issued + Σ stalls exact.
+     */
+    void noteFuCycle(int fu, int thread, StallCause cause);
+
+    /**
+     * Why can't @p op of thread @p t issue? Distinguishes an operand
+     * stuck in the writeback queue (port conflict), one still owed by
+     * the memory system, and one in an FU pipeline.
+     */
+    StallCause classifyOperandStall(const ThreadContext& t,
+                                    const isa::Operation& op) const;
+
     void executeIssue(const IssueDecision& d);
     void doWriteback();
     void manageActiveSet();
@@ -171,6 +193,10 @@ class Simulator
     bool progressThisCycle = false;
 
     TraceFn tracer;
+    bool traceStalls = false;
+
+    /** Per-thread stall attribution, indexed by thread id. */
+    std::vector<StallCounts> threadStalls;
 
     RunStats _stats;
 };

@@ -1,9 +1,70 @@
 #include "procoup/sim/stats.hh"
 
+#include "procoup/support/error.hh"
 #include "procoup/support/strings.hh"
 
 namespace procoup {
 namespace sim {
+
+std::string
+stallCauseName(StallCause c)
+{
+    switch (c) {
+      case StallCause::Issued:            return "issued";
+      case StallCause::NoReadyOp:         return "no-ready-op";
+      case StallCause::OperandNotReady:   return "operand-not-ready";
+      case StallCause::WritebackConflict: return "writeback-port-conflict";
+      case StallCause::MemoryBusy:        return "memory-bank-busy";
+      case StallCause::OpcacheMiss:       return "opcache-miss";
+      case StallCause::IdleNoThread:      return "idle-no-thread";
+    }
+    PROCOUP_PANIC("bad StallCause");
+}
+
+std::uint64_t
+stallCountsTotal(const StallCounts& c)
+{
+    std::uint64_t n = 0;
+    for (auto v : c)
+        n += v;
+    return n;
+}
+
+bool
+RunStats::accountingBalanced() const
+{
+    StallCounts fu_sum{};
+    for (std::size_t fu = 0; fu < stallsByFu.size(); ++fu) {
+        if (stallCountsTotal(stallsByFu[fu]) != cycles)
+            return false;
+        if (fu < opsByFu.size() &&
+                stallsByFu[fu][static_cast<int>(StallCause::Issued)] !=
+                    opsByFu[fu])
+            return false;
+        for (int k = 0; k < numStallCauses; ++k)
+            fu_sum[k] += stallsByFu[fu][k];
+    }
+    StallCounts cl_sum{};
+    for (const auto& c : stallsByCluster)
+        for (int k = 0; k < numStallCauses; ++k)
+            cl_sum[k] += c[k];
+    if (fu_sum != stallsTotal || cl_sum != stallsTotal)
+        return false;
+    if (stallsTotal[static_cast<int>(StallCause::Issued)] != totalOps)
+        return false;
+    return stallCountsTotal(stallsTotal) ==
+           cycles * stallsByFu.size();
+}
+
+double
+RunStats::stallFraction(StallCause c) const
+{
+    const std::uint64_t denom = cycles * stallsByFu.size();
+    if (denom == 0)
+        return 0.0;
+    return static_cast<double>(stallsTotal[static_cast<int>(c)]) /
+           static_cast<double>(denom);
+}
 
 double
 RunStats::utilization(isa::UnitType t) const
@@ -50,6 +111,18 @@ RunStats::summary() const
                 " remote, ", writebackStallCycles, " stall cycles)\n");
     s += strCat("  threads: ", threadsSpawned, " spawned, peak active ",
                 peakActiveThreads, "\n");
+    if (!stallsByFu.empty()) {
+        s += "  fu-cycles:";
+        for (int k = 0; k < numStallCauses; ++k) {
+            const auto c = static_cast<StallCause>(k);
+            if (stallsTotal[k] == 0)
+                continue;
+            s += strCat(" ", stallCauseName(c), "=", stallsTotal[k],
+                        " (", fixed(stallFraction(c) * 100.0, 1),
+                        "%)");
+        }
+        s += "\n";
+    }
     return s;
 }
 

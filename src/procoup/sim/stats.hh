@@ -21,12 +21,48 @@
 namespace procoup {
 namespace sim {
 
+/**
+ * Why a function-unit issue slot was (or was not) used on one cycle.
+ *
+ * Every function unit is charged exactly one cause per cycle, so the
+ * conservation identity
+ *
+ *     cycles × numFus == Σ over all causes (including Issued)
+ *
+ * holds exactly — the empty slots of the paper's utilization tables
+ * (Table 2, Figures 5–8) are fully attributed instead of merely
+ * implied by `1 - utilization`.
+ */
+enum class StallCause
+{
+    Issued = 0,        ///< an operation issued on the unit this cycle
+    NoReadyOp,         ///< no active thread had a pending op for the unit
+    OperandNotReady,   ///< head op waits on a result still in an FU pipeline
+    WritebackConflict, ///< head op's operand is queued, denied a write port
+    MemoryBusy,        ///< head op's operand is an outstanding memory access
+    OpcacheMiss,       ///< operands ready but the operation line is absent
+    IdleNoThread,      ///< no active threads at all
+};
+
+constexpr int numStallCauses = 7;
+
+/** Stable display/schema name, e.g. "writeback-port-conflict". */
+std::string stallCauseName(StallCause c);
+
+/** One counter per StallCause, indexed by static_cast<int>(cause). */
+using StallCounts = std::array<std::uint64_t, numStallCauses>;
+
+/** Sum of all buckets (should equal cycles for a per-FU record). */
+std::uint64_t stallCountsTotal(const StallCounts& c);
+
 /** A MARK operation executed: (thread, mark id, cycle). */
 struct MarkEvent
 {
     int thread = 0;
     std::int64_t id = 0;
     std::uint64_t cycle = 0;
+
+    bool operator==(const MarkEvent&) const = default;
 };
 
 /** Per-thread summary. */
@@ -36,6 +72,13 @@ struct ThreadStats
     std::uint64_t spawnCycle = 0;
     std::uint64_t endCycle = 0;
     std::uint64_t opsIssued = 0;
+
+    /** FU-cycles attributed to this thread: its issues, plus stall
+     *  cycles where one of its operations was the unit's blocked
+     *  head candidate. */
+    StallCounts stalls{};
+
+    bool operator==(const ThreadStats&) const = default;
 };
 
 /** Aggregate results of one simulation run. */
@@ -60,15 +103,32 @@ struct RunStats
     std::uint64_t memParked = 0;       ///< references that had to wait
     std::uint64_t memParkedCycles = 0; ///< total cycles spent parked
 
+    /** Cycles added to arrivals by bank conflicts (bank model only). */
+    std::uint64_t memBankDelayCycles = 0;
+
     /** Operation-cache counters (zero with the paper's perfect
      *  operation caches). */
     std::uint64_t opCacheHits = 0;
     std::uint64_t opCacheMisses = 0;
+    std::uint64_t opCacheLineWaitCycles = 0; ///< waits on in-flight lines
 
     /** Writeback interconnect counters. */
     std::uint64_t writebacks = 0;
     std::uint64_t writebackStallCycles = 0; ///< entry-cycles spent queued
     std::uint64_t remoteWrites = 0;         ///< cross-cluster writebacks
+
+    /** Write-port grants/denials per destination cluster. */
+    std::vector<std::uint64_t> wbGrantsByCluster;
+    std::vector<std::uint64_t> wbDenialsByCluster;
+
+    /**
+     * Stall-cause attribution: one bucket charged per function unit
+     * per cycle. stallsByFu[fu] sums to `cycles`; stallsByCluster and
+     * stallsTotal are the cluster-level and machine-level roll-ups.
+     */
+    std::vector<StallCounts> stallsByFu;
+    std::vector<StallCounts> stallsByCluster;
+    StallCounts stallsTotal{};
 
     /** Threads spawned over the run. */
     std::uint64_t threadsSpawned = 0;
@@ -88,7 +148,20 @@ struct RunStats
     /** MARK cycles for (thread, id), in execution order. */
     std::vector<std::uint64_t> markCycles(int thread, std::int64_t id) const;
 
+    /**
+     * Verify the conservation identity at every level: each FU's
+     * buckets sum to `cycles`, the Issued bucket matches opsByFu,
+     * cluster and machine roll-ups agree, and
+     * cycles × numFus == issued + Σ stalls.
+     */
+    bool accountingBalanced() const;
+
+    /** Fraction of all FU-cycles charged to @p c (0 when cycles==0). */
+    double stallFraction(StallCause c) const;
+
     std::string summary() const;
+
+    bool operator==(const RunStats&) const = default;
 };
 
 } // namespace sim

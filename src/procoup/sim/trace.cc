@@ -6,23 +6,70 @@
 namespace procoup {
 namespace sim {
 
+namespace {
+
+const char*
+kindName(TraceEvent::Kind kind)
+{
+    switch (kind) {
+      case TraceEvent::Kind::Issue:       return "issue";
+      case TraceEvent::Kind::Stall:       return "stall";
+      case TraceEvent::Kind::Writeback:   return "wb";
+      case TraceEvent::Kind::MemComplete: return "mem";
+      case TraceEvent::Kind::Spawn:       return "spawn";
+      case TraceEvent::Kind::Retire:      return "retire";
+    }
+    PROCOUP_PANIC("bad TraceEvent kind");
+}
+
+} // namespace
+
 std::string
 TraceEvent::toString() const
 {
-    const char* k = nullptr;
-    switch (kind) {
-      case Kind::Issue:       k = "issue"; break;
-      case Kind::Writeback:   k = "wb"; break;
-      case Kind::MemComplete: k = "mem"; break;
-      case Kind::Spawn:       k = "spawn"; break;
-      case Kind::Retire:      k = "retire"; break;
-    }
-    PROCOUP_ASSERT(k != nullptr, "bad TraceEvent kind");
-    std::string s = strCat("[", cycle, "] t", thread, " ", k);
+    std::string s = strCat("[", cycle, "] t", thread, " ",
+                           kindName(kind));
     if (fu >= 0)
         s += strCat(" fu", fu);
+    if (kind == Kind::Stall)
+        s += strCat(" ", stallCauseName(cause));
     if (!detail.empty())
         s += strCat(" ", detail);
+    return s;
+}
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent>& events)
+{
+    // Tracks: one per function unit for occupancy (Issue/Stall
+    // slices), one per thread for lifecycle and data movement
+    // (instants). Thread tracks live above tid 1000 so both groups
+    // sort cleanly in the viewer.
+    std::string s = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto& e : events) {
+        const bool slice = e.kind == TraceEvent::Kind::Issue ||
+                           e.kind == TraceEvent::Kind::Stall;
+        const int tid = slice ? e.fu : 1000 + e.thread;
+        std::string name;
+        if (e.kind == TraceEvent::Kind::Stall)
+            name = stallCauseName(e.cause);
+        else if (!e.detail.empty())
+            name = e.detail;
+        else
+            name = kindName(e.kind);
+        if (!first)
+            s += ",";
+        first = false;
+        s += strCat("{\"name\":", jsonQuote(name),
+                    ",\"cat\":", jsonQuote(kindName(e.kind)),
+                    ",\"ph\":", slice ? "\"X\"" : "\"i\"",
+                    ",\"ts\":", e.cycle,
+                    slice ? ",\"dur\":1" : ",\"s\":\"t\"",
+                    ",\"pid\":0,\"tid\":", tid,
+                    ",\"args\":{\"thread\":", e.thread, "}}");
+    }
+    s += "]}";
     return s;
 }
 

@@ -6,12 +6,21 @@
  * Cycle-by-cycle tracing. A TraceFn installed on a Simulator receives
  * one event per issue, register writeback, memory completion, thread
  * spawn, and thread retirement — the raw material for pipeline
- * diagrams like the paper's Figure 1.
+ * diagrams like the paper's Figure 1 — plus, when stall tracing is
+ * enabled, one event per attributed empty FU-cycle (the stall-cause
+ * taxonomy of sim/stats.hh).
+ *
+ * Tracing is strictly observational: installing a tracer (with or
+ * without stall events) never changes simulated timing or results;
+ * tests/differential_test.cc enforces this.
  */
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
+
+#include "procoup/sim/stats.hh"
 
 namespace procoup {
 namespace sim {
@@ -22,6 +31,7 @@ struct TraceEvent
     enum class Kind
     {
         Issue,       ///< operation issued on a function unit
+        Stall,       ///< function unit empty this cycle; cause attributed
         Writeback,   ///< register write granted through the network
         MemComplete, ///< memory reference completed (loads)
         Spawn,       ///< thread entered the active set
@@ -30,15 +40,27 @@ struct TraceEvent
 
     Kind kind = Kind::Issue;
     std::uint64_t cycle = 0;
-    int thread = -1;
-    int fu = -1;       ///< Issue only
+    int thread = -1;   ///< -1 when no thread is implicated (e.g. idle)
+    int fu = -1;       ///< Issue and Stall only
     std::string detail;
 
+    /** Stall only: why the unit's slot went empty. */
+    StallCause cause = StallCause::Issued;
+
+    /** Stable one-line textual form (golden-trace tests diff this). */
     std::string toString() const;
 };
 
 /** Event sink; called synchronously during simulation. */
 using TraceFn = std::function<void(const TraceEvent&)>;
+
+/**
+ * Render events as Chrome trace-event JSON (load in chrome://tracing
+ * or Perfetto). Issue/Stall events become 1-cycle duration slices on
+ * a per-function-unit track; thread lifecycle and memory/writeback
+ * events become instants on per-thread tracks. Timestamps are cycles.
+ */
+std::string chromeTraceJson(const std::vector<TraceEvent>& events);
 
 } // namespace sim
 } // namespace procoup

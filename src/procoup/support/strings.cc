@@ -1,6 +1,7 @@
 #include "procoup/support/strings.hh"
 
 #include <cctype>
+#include <cstdio>
 #include <iomanip>
 
 namespace procoup {
@@ -40,6 +41,31 @@ fixed(double v, int decimals)
     std::ostringstream os;
     os << std::fixed << std::setprecision(decimals) << v;
     return os.str();
+}
+
+std::string
+jsonQuote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
 }
 
 } // namespace procoup

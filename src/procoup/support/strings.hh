@@ -49,6 +49,10 @@ std::string trim(const std::string& s);
 /** Format a double with a fixed number of decimals (for table output). */
 std::string fixed(double v, int decimals);
 
+/** Quote and escape @p s as a JSON string literal (including the
+ *  surrounding double quotes). */
+std::string jsonQuote(const std::string& s);
+
 } // namespace procoup
 
 #endif // PROCOUP_SUPPORT_STRINGS_HH

@@ -284,6 +284,44 @@ TEST_P(DifferentialSeeds, ExtensionKnobsPreserveSemantics)
     }
 }
 
+TEST_P(DifferentialSeeds, TracingHasNoObserverEffect)
+{
+    // Installing a tracer — even with per-FU stall events on — must
+    // not perturb the simulation: identical RunStats, field for
+    // field, including the stall-cause attribution.
+    ProgramGenerator gen(static_cast<std::uint64_t>(GetParam()) + 400);
+    const std::string src = gen.generate();
+    SCOPED_TRACE(src);
+
+    auto contended = config::withInterconnect(
+        config::withMem1(config::baseline()),
+        config::InterconnectScheme::SinglePort);
+    contended.opCache.enabled = true;
+    contended.opCache.linesPerUnit = 8;
+    contended.opCache.rowsPerLine = 2;
+    contended.opCache.missPenalty = 5;
+
+    for (const auto& m : {config::baseline(), contended}) {
+        core::CoupledNode node(m);
+        const auto compiled =
+            node.compile(src, core::SimMode::Coupled);
+
+        sim::Simulator plain(m, compiled.program);
+        const sim::RunStats without = plain.run();
+
+        sim::Simulator observed(m, compiled.program);
+        std::vector<sim::TraceEvent> events;
+        observed.setTracer(
+            [&](const sim::TraceEvent& e) { events.push_back(e); });
+        observed.setTraceStalls(true);
+        const sim::RunStats with = observed.run();
+
+        EXPECT_EQ(without, with) << m.name;
+        EXPECT_FALSE(events.empty());
+        EXPECT_TRUE(with.accountingBalanced());
+    }
+}
+
 TEST_P(DifferentialSeeds, CyclesAreDeterministicPerMachine)
 {
     ProgramGenerator gen(static_cast<std::uint64_t>(GetParam()) + 200);

@@ -1,0 +1,146 @@
+/** @file Golden-trace regression: a small deterministic kernel is run
+ *  with full tracing (stall events included) on a small machine, and
+ *  the exact event sequence — in TraceEvent::toString()'s stable
+ *  textual format — is diffed against a checked-in golden file.
+ *
+ *  The simulator is deterministic, so any diff is a real behavioural
+ *  or observability change. If it is intentional, regenerate with
+ *
+ *      PROCOUP_UPDATE_GOLDEN=1 ./golden_trace_test
+ *
+ *  and review the diff like any other golden update. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "procoup/config/parse.hh"
+#include "procoup/core/node.hh"
+#include "procoup/sim/simulator.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace {
+
+const char* const kGoldenPath =
+    PROCOUP_SOURCE_DIR "/tests/golden/small_kernel_trace.txt";
+
+/** Scaled-down dot product with a parallel fill: exercises forall
+ *  FORK fan-out, synchronizing memory references, ALU pipelines, and
+ *  thread retirement — every trace event kind. */
+const char* const kKernel = R"((defarray a (6) :init-each (* 1.0 i))
+(defarray b (6) :init-each (- 2.0 (* 0.5 i)))
+(defvar acc 0.0)
+(defun main ()
+  (forall (i 0 6)
+    (aset a i (* (aref a i) 2.0)))
+  (let ((s 0.0))
+    (for (i 0 6)
+      (set s (+ s (* (aref a i) (aref b i)))))
+    (set acc s)))
+)";
+
+/** One arithmetic cluster + one branch cluster: small enough that the
+ *  golden file stays reviewable, busy enough to stall. */
+const char* const kMachine =
+    "(machine golden (cluster (iu) (fpu) (mem)) (cluster (br)))";
+
+std::vector<std::string>
+traceKernel()
+{
+    const auto machine = config::parseMachine(kMachine);
+    core::CoupledNode node(machine);
+    const auto compiled =
+        node.compile(kKernel, core::SimMode::Coupled);
+
+    sim::Simulator simulator(machine, compiled.program);
+    std::vector<std::string> lines;
+    simulator.setTracer([&](const sim::TraceEvent& e) {
+        lines.push_back(e.toString());
+    });
+    simulator.setTraceStalls(true);
+    simulator.run();
+    return lines;
+}
+
+TEST(GoldenTrace, SmallKernelEventSequenceIsStable)
+{
+    const std::vector<std::string> lines = traceKernel();
+    ASSERT_FALSE(lines.empty());
+
+    if (std::getenv("PROCOUP_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(kGoldenPath);
+        ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+        for (const auto& l : lines)
+            out << l << "\n";
+        GTEST_SKIP() << "golden file regenerated: " << kGoldenPath;
+    }
+
+    std::ifstream in(kGoldenPath);
+    ASSERT_TRUE(in) << "missing golden file " << kGoldenPath
+                    << " — regenerate with PROCOUP_UPDATE_GOLDEN=1";
+    std::vector<std::string> golden;
+    for (std::string line; std::getline(in, line);)
+        golden.push_back(line);
+
+    for (std::size_t i = 0; i < golden.size() && i < lines.size();
+         ++i)
+        ASSERT_EQ(golden[i], lines[i]) << "first diff at event " << i;
+    EXPECT_EQ(golden.size(), lines.size());
+}
+
+TEST(GoldenTrace, TraceCoversTheStallTaxonomy)
+{
+    const std::vector<std::string> lines = traceKernel();
+    auto contains = [&](const std::string& needle) {
+        for (const auto& l : lines)
+            if (l.find(needle) != std::string::npos)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(contains(" issue "));
+    EXPECT_TRUE(contains(" wb "));
+    EXPECT_TRUE(contains(" spawn "));
+    EXPECT_TRUE(contains(" retire "));
+    EXPECT_TRUE(contains(" stall "));
+    EXPECT_TRUE(contains("no-ready-op"));
+}
+
+TEST(GoldenTrace, ChromeExportIsWellFormedJson)
+{
+    const auto machine = config::parseMachine(kMachine);
+    core::CoupledNode node(machine);
+    const auto compiled =
+        node.compile(kKernel, core::SimMode::Coupled);
+    sim::Simulator simulator(machine, compiled.program);
+    std::vector<sim::TraceEvent> events;
+    simulator.setTracer(
+        [&](const sim::TraceEvent& e) { events.push_back(e); });
+    simulator.setTraceStalls(true);
+    simulator.run();
+
+    const std::string json = sim::chromeTraceJson(events);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    // Structural spot checks (full validation lives in the Python
+    // schema checker): balanced braces and one record per event.
+    std::size_t open = 0;
+    std::size_t close = 0;
+    for (char c : json) {
+        open += c == '{';
+        close += c == '}';
+    }
+    EXPECT_EQ(open, close);
+    // One record object plus one args object per event, plus the
+    // envelope.
+    EXPECT_EQ(open, 2 * events.size() + 1);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"stall\""), std::string::npos);
+}
+
+} // namespace
+} // namespace procoup

@@ -1,0 +1,219 @@
+/** @file Conservation invariants for the stall-cause attribution
+ *  layer: every function unit is charged exactly one StallCause
+ *  bucket per cycle, so for every machine preset and every paper
+ *  benchmark the identity
+ *
+ *      cycles × numFus == issued + Σ stalls
+ *
+ *  must hold exactly — per FU, per cluster, and machine-wide — and
+ *  the per-thread attribution must sum back to the global operation
+ *  counts. */
+
+#include <gtest/gtest.h>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/parse.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/core/node.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace {
+
+using sim::StallCause;
+using sim::StallCounts;
+
+constexpr int kIssued = static_cast<int>(StallCause::Issued);
+
+void
+expectBalanced(const sim::RunStats& s, const std::string& label)
+{
+    SCOPED_TRACE(label);
+    ASSERT_FALSE(s.stallsByFu.empty());
+    ASSERT_EQ(s.stallsByFu.size(), s.opsByFu.size());
+
+    // Per FU: buckets partition the unit's cycles, and the Issued
+    // bucket is exactly the unit's operation count.
+    StallCounts fu_sum{};
+    for (std::size_t fu = 0; fu < s.stallsByFu.size(); ++fu) {
+        EXPECT_EQ(sim::stallCountsTotal(s.stallsByFu[fu]), s.cycles)
+            << "fu " << fu;
+        EXPECT_EQ(s.stallsByFu[fu][kIssued], s.opsByFu[fu])
+            << "fu " << fu;
+        for (int k = 0; k < sim::numStallCauses; ++k)
+            fu_sum[k] += s.stallsByFu[fu][k];
+    }
+
+    // Cluster roll-up agrees with the per-FU totals.
+    StallCounts cl_sum{};
+    for (const auto& c : s.stallsByCluster)
+        for (int k = 0; k < sim::numStallCauses; ++k)
+            cl_sum[k] += c[k];
+    EXPECT_EQ(fu_sum, s.stallsTotal);
+    EXPECT_EQ(cl_sum, s.stallsTotal);
+
+    // The machine-wide conservation identity, exactly.
+    EXPECT_EQ(sim::stallCountsTotal(s.stallsTotal),
+              s.cycles * s.stallsByFu.size());
+    EXPECT_EQ(s.stallsTotal[kIssued], s.totalOps);
+
+    // Per-thread attribution: issues per thread match the thread's
+    // own counter, and thread issue counts sum to the global totals.
+    std::uint64_t thread_ops = 0;
+    std::uint64_t thread_issued = 0;
+    for (const auto& t : s.threads) {
+        EXPECT_EQ(t.stalls[kIssued], t.opsIssued) << t.name;
+        thread_ops += t.opsIssued;
+        thread_issued += t.stalls[kIssued];
+    }
+    EXPECT_EQ(thread_ops, s.totalOps);
+    EXPECT_EQ(thread_issued, s.totalOps);
+
+    std::uint64_t unit_ops = 0;
+    for (int u = 0; u < isa::numUnitTypes; ++u)
+        unit_ops += s.opsByUnit[u];
+    EXPECT_EQ(unit_ops, s.totalOps);
+
+    // The one-call self-check agrees with all of the above.
+    EXPECT_TRUE(s.accountingBalanced());
+}
+
+/** The paper's evaluation machines: the Section 4 baseline and the
+ *  three Figure 7 memory models on it. */
+std::vector<std::pair<std::string, config::MachineConfig>>
+paperMachines()
+{
+    return {
+        {"baseline", config::baseline()},
+        {"mem-min", config::withMemMin(config::baseline())},
+        {"mem1", config::withMem1(config::baseline())},
+        {"mem2", config::withMem2(config::baseline())},
+    };
+}
+
+TEST(StallAccounting, PaperMachinesAllBenchmarksAllModes)
+{
+    for (const auto& [mname, machine] : paperMachines()) {
+        core::CoupledNode node(machine);
+        for (const auto& b : benchmarks::all()) {
+            for (auto mode : core::allSimModes()) {
+                if (mode == core::SimMode::Ideal && !b.hasIdeal())
+                    continue;
+                const auto r = node.runBenchmark(b, mode);
+                expectBalanced(r.stats,
+                               strCat(mname, "/", b.name, "/",
+                                      core::simModeName(mode)));
+            }
+        }
+    }
+}
+
+TEST(StallAccounting, RestrictedInterconnects)
+{
+    for (auto scheme : {config::InterconnectScheme::TriPort,
+                        config::InterconnectScheme::DualPort,
+                        config::InterconnectScheme::SinglePort,
+                        config::InterconnectScheme::SharedBus}) {
+        const auto machine =
+            config::withInterconnect(config::baseline(), scheme);
+        core::CoupledNode node(machine);
+        for (const auto& b : benchmarks::all()) {
+            const auto r =
+                node.runBenchmark(b, core::SimMode::Coupled);
+            expectBalanced(
+                r.stats,
+                strCat(interconnectSchemeName(scheme), "/", b.name));
+        }
+    }
+}
+
+TEST(StallAccounting, ExtensionKnobs)
+{
+    auto oc = config::baseline();
+    oc.opCache.enabled = true;
+    oc.opCache.linesPerUnit = 8;
+    oc.opCache.rowsPerLine = 2;
+    oc.opCache.missPenalty = 5;
+
+    auto rr = config::baseline();
+    rr.arbitration = config::ArbitrationPolicy::RoundRobin;
+
+    auto swap = config::withMem1(config::baseline());
+    swap.maxActiveThreads = 3;
+    swap.swapOutIdleCycles = 12;
+
+    auto banks = config::withMem2(config::baseline());
+    banks.memory.modelBankConflicts = true;
+    banks.memory.numBanks = 2;
+
+    auto mix = config::fuMix(2, 3);
+
+    const std::vector<std::pair<std::string, config::MachineConfig>>
+        machines = {{"opcache", oc},
+                    {"round-robin", rr},
+                    {"bounded+swap", swap},
+                    {"bank-conflicts", banks},
+                    {"fumix-2-3", mix}};
+    for (const auto& [mname, machine] : machines) {
+        core::CoupledNode node(machine);
+        for (const auto& b : benchmarks::all()) {
+            const auto r =
+                node.runBenchmark(b, core::SimMode::Coupled);
+            expectBalanced(r.stats, strCat(mname, "/", b.name));
+        }
+    }
+}
+
+TEST(StallAccounting, OpcacheMissesShowUpAsOpcacheStalls)
+{
+    auto machine = config::baseline();
+    machine.opCache.enabled = true;
+    machine.opCache.linesPerUnit = 4;
+    machine.opCache.rowsPerLine = 1;
+    machine.opCache.missPenalty = 6;
+
+    core::CoupledNode node(machine);
+    const auto r = node.runBenchmark(benchmarks::byName("Matrix"),
+                                     core::SimMode::Coupled);
+    expectBalanced(r.stats, "opcache-stress/Matrix");
+    EXPECT_GT(r.stats.opCacheMisses, 0u);
+    EXPECT_GT(r.stats.stallsTotal[static_cast<int>(
+                  StallCause::OpcacheMiss)],
+              0u);
+}
+
+TEST(StallAccounting, PortConflictsShowUpAsWritebackStalls)
+{
+    // Shared-Bus allows one remote write per cycle machine-wide;
+    // coupled FFT generates plenty of cross-cluster traffic, so some
+    // issue slots must be lost to writeback port conflicts.
+    const auto machine = config::withInterconnect(
+        config::baseline(), config::InterconnectScheme::SharedBus);
+    core::CoupledNode node(machine);
+    const auto r = node.runBenchmark(benchmarks::byName("FFT"),
+                                     core::SimMode::Coupled);
+    expectBalanced(r.stats, "shared-bus/FFT");
+    EXPECT_GT(r.stats.writebackStallCycles, 0u);
+    EXPECT_GT(r.stats.stallsTotal[static_cast<int>(
+                  StallCause::WritebackConflict)],
+              0u);
+}
+
+TEST(StallAccounting, SequentialModeIdlesNonSeqClusters)
+{
+    // SEQ compiles to a single cluster: units of the other clusters
+    // must be charged NoReadyOp/IdleNoThread, never operand stalls.
+    core::CoupledNode node(config::baseline());
+    const auto r = node.runBenchmark(benchmarks::byName("Matrix"),
+                                     core::SimMode::Seq);
+    expectBalanced(r.stats, "baseline/Matrix/SEQ");
+    std::uint64_t busy_clusters = 0;
+    for (const auto& c : r.stats.stallsByCluster)
+        if (c[kIssued] > 0)
+            ++busy_clusters;
+    // One arithmetic cluster plus at most the branch clusters.
+    EXPECT_LE(busy_clusters, 3u);
+}
+
+} // namespace
+} // namespace procoup

@@ -17,6 +17,11 @@
  *   --diag                             compiler diagnostics summary
  *   --trace                            cycle-by-cycle event trace
  *   --max-trace N                      stop tracing after N events
+ *   --trace-stalls                     include per-FU stall-cause events
+ *   --trace-out FILE                   write Chrome trace-event JSON
+ *   --stats-json FILE                  write machine-readable run stats
+ *                                      ("-" for stdout), including the
+ *                                      stall-cause attribution
  *   --verify                           (with --benchmark) check results
  *   --sym NAME                         print a data symbol after the run
  *
@@ -97,6 +102,9 @@ struct Options
     bool diag = false;
     bool do_trace = false;
     long max_trace = 2000;
+    bool trace_stalls = false;
+    std::string trace_out;
+    std::string stats_json;
     bool verify = false;
     std::vector<std::string> symbols;
 };
@@ -148,6 +156,12 @@ parseArgs(int argc, char** argv)
             o.do_trace = true;
         } else if (a == "--max-trace") {
             o.max_trace = std::strtol(next().c_str(), nullptr, 10);
+        } else if (a == "--trace-stalls") {
+            o.trace_stalls = true;
+        } else if (a == "--trace-out") {
+            o.trace_out = next();
+        } else if (a == "--stats-json") {
+            o.stats_json = next();
         } else if (a == "--verify") {
             o.verify = true;
         } else if (a == "--sym") {
@@ -198,16 +212,39 @@ try {
 
     sim::Simulator simulator(o.machine, compiled.program);
     long traced = 0;
-    if (o.do_trace) {
+    std::vector<sim::TraceEvent> collected;
+    if (o.do_trace || !o.trace_out.empty()) {
         simulator.setTracer([&](const sim::TraceEvent& e) {
-            if (traced++ < o.max_trace)
+            if (o.do_trace && traced++ < o.max_trace)
                 std::printf("%s\n", e.toString().c_str());
+            if (!o.trace_out.empty())
+                collected.push_back(e);
         });
+        simulator.setTraceStalls(o.trace_stalls);
     }
     const auto stats = simulator.run();
     if (o.do_trace && traced > o.max_trace)
         std::printf("... %ld further events suppressed\n",
                     traced - o.max_trace);
+    if (!o.trace_out.empty()) {
+        std::ofstream out(o.trace_out);
+        if (!out)
+            throw CompileError(strCat("cannot write ", o.trace_out));
+        out << sim::chromeTraceJson(collected);
+    }
+    if (!o.stats_json.empty()) {
+        const std::string json =
+            sched::formatStatsJson(stats, o.machine);
+        if (o.stats_json == "-") {
+            std::fputs(json.c_str(), stdout);
+        } else {
+            std::ofstream out(o.stats_json);
+            if (!out)
+                throw CompileError(
+                    strCat("cannot write ", o.stats_json));
+            out << json;
+        }
+    }
 
     std::printf("%s", stats.summary().c_str());
     std::printf("peak registers/cluster: %u\n",
