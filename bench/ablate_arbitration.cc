@@ -8,15 +8,26 @@
  * benchmark suite under round-robin arbitration to quantify the
  * fairness/throughput trade: round-robin evens out per-thread service
  * at (usually) no aggregate cost.
+ *
+ * Arbitration is runtime-only, so the compile cache shares one
+ * compilation per source across both policies.
  */
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
 
 namespace {
+
+const config::ArbitrationPolicy kPolicies[] = {
+    config::ArbitrationPolicy::FixedPriority,
+    config::ArbitrationPolicy::RoundRobin};
 
 double
 avgIterationCycles(const sim::RunStats& stats, int thread)
@@ -29,62 +40,79 @@ avgIterationCycles(const sim::RunStats& stats, int thread)
            static_cast<double>(marks.size() - 1);
 }
 
+config::MachineConfig
+withPolicy(config::ArbitrationPolicy policy)
+{
+    auto machine = config::baseline();
+    machine.arbitration = policy;
+    machine.name =
+        strCat("baseline-", config::arbitrationPolicyName(policy));
+    return machine;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
-    std::printf("Ablation: fixed-priority vs round-robin arbitration\n"
-                "\nPer-thread interference (queue-based Model, 4 "
-                "workers):\n\n");
+    exp::ExperimentPlan plan("ablate_arbitration");
+    for (auto policy : kPolicies)
+        plan.addSource(strCat("queue/Coupled@",
+                              withPolicy(policy).name),
+                       withPolicy(policy),
+                       benchmarks::modelQueue().coupled,
+                       core::SimMode::Coupled);
+    for (const auto& bm : benchmarks::all())
+        for (auto policy : kPolicies)
+            plan.addBenchmark(withPolicy(policy), bm,
+                              core::SimMode::Coupled);
 
-    TextTable t;
-    t.header({"Policy", "Thread", "Cycles/iter", "Devices",
-              "Aggregate"});
-    for (auto policy : {config::ArbitrationPolicy::FixedPriority,
-                        config::ArbitrationPolicy::RoundRobin}) {
-        auto machine = config::baseline();
-        machine.arbitration = policy;
-        core::CoupledNode node(machine);
-        const auto run = node.runSource(
-            benchmarks::modelQueue().coupled, core::SimMode::Coupled);
-        for (int w = 1;
-             w <= benchmarks::InterferenceSources::numWorkers; ++w) {
-            t.row({config::arbitrationPolicyName(policy), strCat(w),
-                   fixed(avgIterationCycles(run.stats, w), 1),
-                   strCat(run.stats
-                              .markCycles(w, benchmarks::
-                                              InterferenceSources::
-                                                  markIterate)
-                              .size()),
-                   w == 1 ? strCat(run.stats.cycles) : ""});
-        }
-        t.separator();
-    }
-    std::printf("%s\n", t.render().c_str());
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Ablation: fixed-priority vs round-robin "
+                    "arbitration\n\nPer-thread interference "
+                    "(queue-based Model, 4 workers):\n\n");
 
-    std::printf("Benchmark suite (Coupled mode):\n\n");
-    TextTable b;
-    b.header({"Benchmark", "fixed-priority", "round-robin", "delta"});
-    for (const auto& bm : benchmarks::all()) {
-        std::uint64_t cycles[2] = {0, 0};
-        int k = 0;
-        for (auto policy : {config::ArbitrationPolicy::FixedPriority,
-                            config::ArbitrationPolicy::RoundRobin}) {
-            auto machine = config::baseline();
-            machine.arbitration = policy;
-            cycles[k++] =
-                bench::runVerified(machine, bm, core::SimMode::Coupled)
-                    .stats.cycles;
+        TextTable t;
+        t.header({"Policy", "Thread", "Cycles/iter", "Devices",
+                  "Aggregate"});
+        auto outcome = sweep.outcomes.begin();
+        for (auto policy : kPolicies) {
+            const auto& stats = (outcome++)->result.stats;
+            for (int w = 1;
+                 w <= benchmarks::InterferenceSources::numWorkers;
+                 ++w) {
+                t.row({config::arbitrationPolicyName(policy),
+                       strCat(w),
+                       fixed(avgIterationCycles(stats, w), 1),
+                       strCat(stats
+                                  .markCycles(
+                                      w, benchmarks::
+                                             InterferenceSources::
+                                                 markIterate)
+                                  .size()),
+                       w == 1 ? strCat(stats.cycles) : ""});
+            }
+            t.separator();
         }
-        b.row({bm.name, strCat(cycles[0]), strCat(cycles[1]),
-               strCat(fixed(100.0 * (static_cast<double>(cycles[1]) /
+        std::printf("%s\n", t.render().c_str());
+
+        std::printf("Benchmark suite (Coupled mode):\n\n");
+        TextTable b;
+        b.header({"Benchmark", "fixed-priority", "round-robin",
+                  "delta"});
+        for (const auto& bm : benchmarks::all()) {
+            std::uint64_t cycles[2];
+            for (std::size_t k = 0; k < 2; ++k)
+                cycles[k] = (outcome++)->result.stats.cycles;
+            b.row({bm.name, strCat(cycles[0]), strCat(cycles[1]),
+                   strCat(fixed(100.0 *
+                                    (static_cast<double>(cycles[1]) /
                                          cycles[0] -
                                      1.0),
-                            1),
-                      "%")});
-    }
-    std::printf("%s", b.render().c_str());
-    return 0;
+                                1),
+                          "%")});
+        }
+        std::printf("%s", b.render().c_str());
+    });
 }

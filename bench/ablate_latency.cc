@@ -13,44 +13,57 @@
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
-    std::printf("Ablation: floating-point pipeline depth "
-                "(cycles, Matrix)\n\n");
+    const int latencies[] = {1, 2, 4, 8};
+    const auto& bm = benchmarks::byName("Matrix");
 
-    TextTable t;
-    t.header({"FPU latency", "STS", "Coupled", "STS dilation",
-              "Coupled dilation"});
-    double sts_base = 0.0;
-    double coupled_base = 0.0;
-    for (int lat : {1, 2, 4, 8}) {
+    exp::ExperimentPlan plan("ablate_latency");
+    for (int lat : latencies) {
         auto machine = config::baseline();
         for (auto& cluster : machine.clusters)
             for (auto& u : cluster.units)
                 if (u.type == isa::UnitType::Float)
                     u.latency = lat;
-
-        const auto& bm = benchmarks::byName("Matrix");
-        const auto sts =
-            bench::runVerified(machine, bm, core::SimMode::Sts);
-        const auto coupled =
-            bench::runVerified(machine, bm, core::SimMode::Coupled);
-        if (lat == 1) {
-            sts_base = static_cast<double>(sts.stats.cycles);
-            coupled_base = static_cast<double>(coupled.stats.cycles);
-        }
-        t.row({strCat(lat), strCat(sts.stats.cycles),
-               strCat(coupled.stats.cycles),
-               strCat(fixed(sts.stats.cycles / sts_base, 2), "x"),
-               strCat(fixed(coupled.stats.cycles / coupled_base, 2),
-                      "x")});
+        machine.name = strCat("baseline-fpulat", lat);
+        plan.addBenchmark(machine, bm, core::SimMode::Sts);
+        plan.addBenchmark(machine, bm, core::SimMode::Coupled);
     }
-    std::printf("%s", t.render().c_str());
-    return 0;
+
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Ablation: floating-point pipeline depth "
+                    "(cycles, Matrix)\n\n");
+
+        TextTable t;
+        t.header({"FPU latency", "STS", "Coupled", "STS dilation",
+                  "Coupled dilation"});
+        double sts_base = 0.0;
+        double coupled_base = 0.0;
+        auto outcome = sweep.outcomes.begin();
+        for (int lat : latencies) {
+            const auto sts_cycles = (outcome++)->result.stats.cycles;
+            const auto coupled_cycles =
+                (outcome++)->result.stats.cycles;
+            if (lat == 1) {
+                sts_base = static_cast<double>(sts_cycles);
+                coupled_base = static_cast<double>(coupled_cycles);
+            }
+            t.row({strCat(lat), strCat(sts_cycles),
+                   strCat(coupled_cycles),
+                   strCat(fixed(sts_cycles / sts_base, 2), "x"),
+                   strCat(fixed(coupled_cycles / coupled_base, 2),
+                          "x")});
+        }
+        std::printf("%s", t.render().c_str());
+    });
 }

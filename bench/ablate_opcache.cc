@@ -10,52 +10,79 @@
  *    benchmarks' working sets are small);
  *  - thread clones sharing one code image hit in each other's lines,
  *    so coupled multithreading is not an instruction-fetch multiplier.
+ *
+ * The operation-cache model is runtime-only, so the compile cache
+ * shares one compilation per benchmark across all four sizes.
  */
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
+
+namespace {
+
+const int kLineCounts[] = {0, 64, 16, 4};  // 0 = perfect
+
+config::MachineConfig
+withOpCache(int lines)
+{
+    auto machine = config::baseline();
+    if (lines > 0) {
+        machine.opCache.enabled = true;
+        machine.opCache.linesPerUnit = lines;
+        machine.opCache.rowsPerLine = 4;
+        machine.opCache.missPenalty = 8;
+        machine.name = strCat("baseline-opcache", lines);
+    }
+    return machine;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
-    std::printf("Ablation: operation-cache size "
-                "(Coupled mode; 4 rows/line, 8-cycle miss)\n\n");
+    exp::ExperimentPlan plan("ablate_opcache");
+    for (const auto& bm : benchmarks::all())
+        for (int lines : kLineCounts)
+            plan.addBenchmark(withOpCache(lines), bm,
+                              core::SimMode::Coupled);
 
-    TextTable t;
-    t.header({"Benchmark", "perfect", "64 lines", "16 lines",
-              "4 lines", "miss rate @16"});
-    for (const auto& bm : benchmarks::all()) {
-        std::vector<std::string> row = {bm.name};
-        std::string missrate;
-        for (int lines : {0, 64, 16, 4}) {
-            auto machine = config::baseline();
-            if (lines > 0) {
-                machine.opCache.enabled = true;
-                machine.opCache.linesPerUnit = lines;
-                machine.opCache.rowsPerLine = 4;
-                machine.opCache.missPenalty = 8;
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Ablation: operation-cache size "
+                    "(Coupled mode; 4 rows/line, 8-cycle miss)\n\n");
+
+        TextTable t;
+        t.header({"Benchmark", "perfect", "64 lines", "16 lines",
+                  "4 lines", "miss rate @16"});
+        auto outcome = sweep.outcomes.begin();
+        for (const auto& bm : benchmarks::all()) {
+            std::vector<std::string> row = {bm.name};
+            std::string missrate;
+            for (int lines : kLineCounts) {
+                const auto& s = (outcome++)->result.stats;
+                row.push_back(strCat(s.cycles));
+                if (lines == 16) {
+                    const double total = static_cast<double>(
+                        s.opCacheHits + s.opCacheMisses);
+                    missrate = strCat(
+                        fixed(total > 0.0
+                                  ? 100.0 * s.opCacheMisses / total
+                                  : 0.0,
+                              1),
+                        "%");
+                }
             }
-            const auto r =
-                bench::runVerified(machine, bm, core::SimMode::Coupled);
-            row.push_back(strCat(r.stats.cycles));
-            if (lines == 16) {
-                const double total = static_cast<double>(
-                    r.stats.opCacheHits + r.stats.opCacheMisses);
-                missrate = strCat(
-                    fixed(total > 0.0
-                              ? 100.0 * r.stats.opCacheMisses / total
-                              : 0.0,
-                          1),
-                    "%");
-            }
+            row.push_back(missrate);
+            t.row(row);
         }
-        row.push_back(missrate);
-        t.row(row);
-    }
-    std::printf("%s", t.render().c_str());
-    return 0;
+        std::printf("%s", t.render().c_str());
+    });
 }

@@ -14,53 +14,56 @@
 
 #include <cstdio>
 
-#include "bench_util.hh"
-#include "procoup/sched/compiler.hh"
-#include "procoup/sim/simulator.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
-
-namespace {
-
-std::uint64_t
-run(const core::BenchmarkSource& bm, core::SimMode mode, int clones)
-{
-    const auto machine = config::baseline();
-    sched::CompileOptions opts = core::optionsFor(mode);
-    opts.forkClones = clones;
-    const auto compiled =
-        sched::compile(bm.forMode(mode), machine, opts);
-    sim::Simulator s(machine, compiled.program);
-    return s.run().cycles;
-}
-
-} // namespace
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
-    std::printf("Ablation: thread-function clones for static load "
-                "balancing\n(clones=4: one per arithmetic cluster, "
-                "the default; clones=1: none)\n\n");
+    const int kClones[] = {4, 1};
+    exp::ExperimentPlan plan("ablate_rotation");
+    for (const auto& bm : benchmarks::all())
+        for (auto mode : {core::SimMode::Tpe, core::SimMode::Coupled})
+            for (int clones : kClones) {
+                auto& p = plan.addBenchmark(
+                    config::baseline(), bm, mode,
+                    strCat(bm.name, "/", core::simModeName(mode),
+                           "@baseline-clones", clones));
+                p.options.forkClones = clones;
+            }
 
-    TextTable t;
-    t.header({"Benchmark", "Mode", "clones=4", "clones=1",
-              "slowdown"});
-    for (const auto& bm : benchmarks::all()) {
-        for (auto mode : {core::SimMode::Tpe, core::SimMode::Coupled}) {
-            const auto with = run(bm, mode, 4);
-            const auto without = run(bm, mode, 1);
-            t.row({bm.name, core::simModeName(mode), strCat(with),
-                   strCat(without),
-                   strCat(fixed(static_cast<double>(without) / with, 2),
-                          "x")});
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Ablation: thread-function clones for static load "
+                    "balancing\n(clones=4: one per arithmetic cluster, "
+                    "the default; clones=1: none)\n\n");
+
+        TextTable t;
+        t.header({"Benchmark", "Mode", "clones=4", "clones=1",
+                  "slowdown"});
+        auto outcome = sweep.outcomes.begin();
+        for (const auto& bm : benchmarks::all()) {
+            for (auto mode :
+                 {core::SimMode::Tpe, core::SimMode::Coupled}) {
+                const auto with = (outcome++)->result.stats.cycles;
+                const auto without = (outcome++)->result.stats.cycles;
+                t.row({bm.name, core::simModeName(mode), strCat(with),
+                       strCat(without),
+                       strCat(fixed(static_cast<double>(without) /
+                                        with,
+                                    2),
+                              "x")});
+            }
+            t.separator();
         }
-        t.separator();
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf("\nTPE without clones pins every thread to one cluster"
-                " (no parallelism);\nCoupled recovers most of the loss"
-                " through runtime arbitration alone.\n");
-    return 0;
+        std::printf("%s", t.render().c_str());
+        std::printf("\nTPE without clones pins every thread to one "
+                    "cluster (no parallelism);\nCoupled recovers most "
+                    "of the loss through runtime arbitration alone.\n");
+    });
 }

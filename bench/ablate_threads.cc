@@ -9,60 +9,93 @@
  * queue excess spawns. This sweep bounds maxActiveThreads and shows
  * how much concurrency each benchmark actually needs: cycle counts
  * flatten once the active set covers the useful parallelism.
+ *
+ * Active-set management is runtime-only, so the compile cache shares
+ * one compilation per benchmark across the whole sweep.
  */
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
+
+namespace {
+
+const int kLimits[] = {2, 4, 8, 16, 0};  // 0 = unbounded
+
+config::MachineConfig
+withActiveSet(int limit, int swap_out_idle = 0)
+{
+    auto machine = config::baseline();
+    machine.maxActiveThreads = limit;
+    machine.swapOutIdleCycles = swap_out_idle;
+    machine.name = strCat("baseline-active",
+                          limit == 0 ? strCat("inf") : strCat(limit),
+                          swap_out_idle ? strCat("-swap", swap_out_idle)
+                                        : "");
+    return machine;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
-    std::printf("Ablation: active-set size (Coupled mode cycles)\n\n");
-
-    TextTable t;
-    std::vector<std::string> header = {"Benchmark"};
-    const int limits[] = {2, 4, 8, 16, 0};
-    for (int lim : limits)
-        header.push_back(lim == 0 ? "unbounded" : strCat(lim));
-    t.header(header);
-
-    for (const auto& bm : benchmarks::all()) {
-        std::vector<std::string> row = {bm.name};
-        for (int lim : limits) {
-            auto machine = config::baseline();
-            machine.maxActiveThreads = lim;
-            const auto r =
-                bench::runVerified(machine, bm, core::SimMode::Coupled);
-            row.push_back(strCat(r.stats.cycles));
-        }
-        t.row(row);
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf("\n(excess spawns wait for a free slot; a small active "
-                "set serializes the\nforall bursts, a large one adds "
-                "nothing once parallelism is covered)\n");
-
+    exp::ExperimentPlan plan("ablate_threads");
+    for (const auto& bm : benchmarks::all())
+        for (int lim : kLimits)
+            plan.addBenchmark(withActiveSet(lim), bm,
+                              core::SimMode::Coupled);
     // Idle swap-out (the paper's deferred thread management): with a
     // small active set, swapping idle threads out recovers cycles.
-    std::printf("\nWith idle swap-out (window 16 cycles), active set "
-                "of 4:\n\n");
-    TextTable s;
-    s.header({"Benchmark", "no swap", "swap-out-idle 16"});
     for (const auto& bm : benchmarks::all()) {
-        auto machine = config::baseline();
-        machine.maxActiveThreads = 4;
-        const auto plain =
-            bench::runVerified(machine, bm, core::SimMode::Coupled);
-        machine.swapOutIdleCycles = 16;
-        const auto swap =
-            bench::runVerified(machine, bm, core::SimMode::Coupled);
-        s.row({bm.name, strCat(plain.stats.cycles),
-               strCat(swap.stats.cycles)});
+        plan.addBenchmark(withActiveSet(4), bm, core::SimMode::Coupled,
+                          exp::ExperimentPlan::benchmarkLabel(
+                              bm, core::SimMode::Coupled,
+                              withActiveSet(4)) +
+                              "-noswap");
+        plan.addBenchmark(withActiveSet(4, 16), bm,
+                          core::SimMode::Coupled);
     }
-    std::printf("%s", s.render().c_str());
-    return 0;
+
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Ablation: active-set size (Coupled mode "
+                    "cycles)\n\n");
+
+        TextTable t;
+        std::vector<std::string> header = {"Benchmark"};
+        for (int lim : kLimits)
+            header.push_back(lim == 0 ? "unbounded" : strCat(lim));
+        t.header(header);
+
+        auto outcome = sweep.outcomes.begin();
+        for (const auto& bm : benchmarks::all()) {
+            std::vector<std::string> row = {bm.name};
+            for (std::size_t k = 0; k < std::size(kLimits); ++k)
+                row.push_back(
+                    strCat((outcome++)->result.stats.cycles));
+            t.row(row);
+        }
+        std::printf("%s", t.render().c_str());
+        std::printf("\n(excess spawns wait for a free slot; a small "
+                    "active set serializes the\nforall bursts, a large "
+                    "one adds nothing once parallelism is covered)\n");
+
+        std::printf("\nWith idle swap-out (window 16 cycles), active "
+                    "set of 4:\n\n");
+        TextTable s;
+        s.header({"Benchmark", "no swap", "swap-out-idle 16"});
+        for (const auto& bm : benchmarks::all()) {
+            const auto plain = (outcome++)->result.stats.cycles;
+            const auto swap = (outcome++)->result.stats.cycles;
+            s.row({bm.name, strCat(plain), strCat(swap)});
+        }
+        std::printf("%s", s.render().c_str());
+    });
 }

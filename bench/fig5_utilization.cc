@@ -7,35 +7,46 @@
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
     const auto machine = config::baseline();
-    std::printf("Figure 5: function unit utilization "
-                "(ops/cycle per unit class)\n\n");
-
-    TextTable t;
-    t.header({"Benchmark", "Mode", "FPU", "IU", "MEM", "BR"});
-    for (const auto& b : benchmarks::all()) {
+    exp::ExperimentPlan plan("fig5_utilization");
+    for (const auto& b : benchmarks::all())
         for (auto mode : core::allSimModes()) {
             if (mode == core::SimMode::Ideal && !b.hasIdeal())
                 continue;
-            const auto r = bench::runVerified(machine, b, mode);
-            t.row({b.name, core::simModeName(mode),
-                   fixed(r.stats.utilization(isa::UnitType::Float), 2),
-                   fixed(r.stats.utilization(isa::UnitType::Integer),
-                         2),
-                   fixed(r.stats.utilization(isa::UnitType::Memory), 2),
-                   fixed(r.stats.utilization(isa::UnitType::Branch),
-                         2)});
+            plan.addBenchmark(machine, b, mode);
+        }
+
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Figure 5: function unit utilization "
+                    "(ops/cycle per unit class)\n\n");
+        TextTable t;
+        t.header({"Benchmark", "Mode", "FPU", "IU", "MEM", "BR"});
+        std::string last_bench;
+        for (const auto& o : sweep.outcomes) {
+            const auto& b = benchmarks::byId(o.point->benchmarkId);
+            if (!last_bench.empty() && b.name != last_bench)
+                t.separator();
+            last_bench = b.name;
+            const auto& s = o.result.stats;
+            t.row({b.name, core::simModeName(o.point->mode),
+                   fixed(s.utilization(isa::UnitType::Float), 2),
+                   fixed(s.utilization(isa::UnitType::Integer), 2),
+                   fixed(s.utilization(isa::UnitType::Memory), 2),
+                   fixed(s.utilization(isa::UnitType::Branch), 2)});
         }
         t.separator();
-    }
-    std::printf("%s", t.render().c_str());
-    return 0;
+        std::printf("%s", t.render().c_str());
+    });
 }

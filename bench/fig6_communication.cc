@@ -6,20 +6,26 @@
  * The paper's finding: Tri-Port stays within a few percent of the
  * fully connected network while Single-Port and Shared-Bus degrade
  * sharply on the index-heavy benchmarks.
+ *
+ * The interconnect scheme is runtime-only, so the compile cache
+ * shares one compilation per benchmark across all five schemes.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
 #include "procoup/config/area.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
     const std::vector<config::InterconnectScheme> schemes = {
         config::InterconnectScheme::Full,
         config::InterconnectScheme::TriPort,
@@ -28,54 +34,64 @@ main(int argc, char** argv)
         config::InterconnectScheme::SharedBus,
     };
 
-    std::printf("Figure 6: restricted communication (Coupled mode)\n\n");
-    TextTable t;
-    std::vector<std::string> header = {"Benchmark"};
-    for (auto s : schemes)
-        header.push_back(config::interconnectSchemeName(s));
-    header.push_back("Tri-Port vs Full");
-    t.header(header);
+    exp::ExperimentPlan plan("fig6_communication");
+    for (const auto& b : benchmarks::all())
+        for (auto s : schemes)
+            plan.addBenchmark(
+                config::withInterconnect(config::baseline(), s), b,
+                core::SimMode::Coupled);
 
-    for (const auto& b : benchmarks::all()) {
-        std::vector<std::string> row = {b.name};
-        std::uint64_t full = 0;
-        std::uint64_t triport = 0;
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Figure 6: restricted communication (Coupled mode)"
+                    "\n\n");
+        TextTable t;
+        std::vector<std::string> header = {"Benchmark"};
+        for (auto s : schemes)
+            header.push_back(config::interconnectSchemeName(s));
+        header.push_back("Tri-Port vs Full");
+        t.header(header);
+
+        auto outcome = sweep.outcomes.begin();
+        for (const auto& b : benchmarks::all()) {
+            std::vector<std::string> row = {b.name};
+            std::uint64_t full = 0;
+            std::uint64_t triport = 0;
+            for (auto s : schemes) {
+                const std::uint64_t cycles =
+                    (outcome++)->result.stats.cycles;
+                if (s == config::InterconnectScheme::Full)
+                    full = cycles;
+                if (s == config::InterconnectScheme::TriPort)
+                    triport = cycles;
+                row.push_back(strCat(cycles));
+            }
+            row.push_back(strCat(
+                "+",
+                fixed(100.0 *
+                          (static_cast<double>(triport) / full - 1.0),
+                      1),
+                "%"));
+            t.row(row);
+        }
+        std::printf("%s", t.render().c_str());
+
+        // Section 6 feasibility: register file + interconnect area.
+        std::printf("\nEstimated register-file + interconnect area "
+                    "relative to Full\n(the paper quotes 28%% for "
+                    "Tri-Port in a four cluster system):\n\n");
+        const double full_area =
+            config::estimateArea(config::baseline()).total();
+        TextTable a;
+        a.header({"Scheme", "Area vs Full"});
         for (auto s : schemes) {
             const auto machine =
                 config::withInterconnect(config::baseline(), s);
-            const auto r =
-                bench::runVerified(machine, b, core::SimMode::Coupled);
-            if (s == config::InterconnectScheme::Full)
-                full = r.stats.cycles;
-            if (s == config::InterconnectScheme::TriPort)
-                triport = r.stats.cycles;
-            row.push_back(strCat(r.stats.cycles));
+            a.row({config::interconnectSchemeName(s),
+                   fixed(100.0 * config::estimateArea(machine).total() /
+                             full_area,
+                         0) + "%"});
         }
-        row.push_back(strCat(
-            "+",
-            fixed(100.0 * (static_cast<double>(triport) / full - 1.0),
-                  1),
-            "%"));
-        t.row(row);
-    }
-    std::printf("%s", t.render().c_str());
-
-    // Section 6 feasibility: register file + interconnect area.
-    std::printf("\nEstimated register-file + interconnect area "
-                "relative to Full\n(the paper quotes 28%% for "
-                "Tri-Port in a four cluster system):\n\n");
-    const double full_area =
-        config::estimateArea(config::baseline()).total();
-    TextTable a;
-    a.header({"Scheme", "Area vs Full"});
-    for (auto s : schemes) {
-        const auto machine =
-            config::withInterconnect(config::baseline(), s);
-        a.row({config::interconnectSchemeName(s),
-               fixed(100.0 * config::estimateArea(machine).total() /
-                         full_area,
-                     0) + "%"});
-    }
-    std::printf("%s", a.render().c_str());
-    return 0;
+        std::printf("%s", a.render().c_str());
+    });
 }

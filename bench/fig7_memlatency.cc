@@ -6,69 +6,82 @@
  * (TPE, Coupled) machines. The paper's finding: long latencies hit
  * the single-threaded modes far harder because the threaded machines
  * hide latency by running other threads.
+ *
+ * The memory model is runtime-only, so the compile cache shares one
+ * compilation per (benchmark, mode) across the three memory models.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
-    struct MemCase
-    {
-        const char* name;
-        config::MachineConfig machine;
-    };
-    const std::vector<MemCase> mems = {
-        {"Min", config::withMemMin(config::baseline())},
-        {"Mem1", config::withMem1(config::baseline())},
-        {"Mem2", config::withMem2(config::baseline())},
+    const std::vector<config::MachineConfig> mems = {
+        config::withMemMin(config::baseline()),
+        config::withMem1(config::baseline()),
+        config::withMem2(config::baseline()),
     };
     const std::vector<core::SimMode> modes = {
         core::SimMode::Sts, core::SimMode::Ideal, core::SimMode::Tpe,
         core::SimMode::Coupled};
 
-    std::printf("Figure 7: variable memory latency\n\n");
-    TextTable t;
-    t.header({"Benchmark", "Mode", "Min", "Mem1", "Mem2",
-              "Mem2/Min"});
-
-    // Average Mem2/Min ratio per mode (the paper quotes 5.5x for STS,
-    // 2x for Coupled, 2.3x for TPE).
-    std::vector<double> ratio_sum(modes.size(), 0.0);
-    std::vector<int> ratio_n(modes.size(), 0);
-
-    for (const auto& b : benchmarks::all()) {
-        for (std::size_t mi = 0; mi < modes.size(); ++mi) {
-            const auto mode = modes[mi];
+    exp::ExperimentPlan plan("fig7_memlatency");
+    for (const auto& b : benchmarks::all())
+        for (auto mode : modes) {
             if (mode == core::SimMode::Ideal && !b.hasIdeal())
                 continue;
-            std::vector<std::uint64_t> cycles;
             for (const auto& mem : mems)
-                cycles.push_back(
-                    bench::runVerified(mem.machine, b, mode)
-                        .stats.cycles);
-            const double r = static_cast<double>(cycles[2]) /
-                             static_cast<double>(cycles[0]);
-            ratio_sum[mi] += r;
-            ++ratio_n[mi];
-            t.row({b.name, core::simModeName(mode), strCat(cycles[0]),
-                   strCat(cycles[1]), strCat(cycles[2]), fixed(r, 2)});
+                plan.addBenchmark(mem, b, mode);
         }
-        t.separator();
-    }
-    std::printf("%s\n", t.render().c_str());
 
-    std::printf("average Mem2/Min dilation by mode:\n");
-    for (std::size_t mi = 0; mi < modes.size(); ++mi)
-        if (ratio_n[mi] > 0)
-            std::printf("  %-7s %sx\n",
-                        core::simModeName(modes[mi]).c_str(),
-                        fixed(ratio_sum[mi] / ratio_n[mi], 2).c_str());
-    return 0;
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Figure 7: variable memory latency\n\n");
+        TextTable t;
+        t.header({"Benchmark", "Mode", "Min", "Mem1", "Mem2",
+                  "Mem2/Min"});
+
+        // Average Mem2/Min ratio per mode (the paper quotes 5.5x for
+        // STS, 2x for Coupled, 2.3x for TPE).
+        std::vector<double> ratio_sum(modes.size(), 0.0);
+        std::vector<int> ratio_n(modes.size(), 0);
+
+        auto outcome = sweep.outcomes.begin();
+        for (const auto& b : benchmarks::all()) {
+            for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+                const auto mode = modes[mi];
+                if (mode == core::SimMode::Ideal && !b.hasIdeal())
+                    continue;
+                std::vector<std::uint64_t> cycles;
+                for (std::size_t k = 0; k < mems.size(); ++k)
+                    cycles.push_back((outcome++)->result.stats.cycles);
+                const double r = static_cast<double>(cycles[2]) /
+                                 static_cast<double>(cycles[0]);
+                ratio_sum[mi] += r;
+                ++ratio_n[mi];
+                t.row({b.name, core::simModeName(mode),
+                       strCat(cycles[0]), strCat(cycles[1]),
+                       strCat(cycles[2]), fixed(r, 2)});
+            }
+            t.separator();
+        }
+        std::printf("%s\n", t.render().c_str());
+
+        std::printf("average Mem2/Min dilation by mode:\n");
+        for (std::size_t mi = 0; mi < modes.size(); ++mi)
+            if (ratio_n[mi] > 0)
+                std::printf("  %-7s %sx\n",
+                            core::simModeName(modes[mi]).c_str(),
+                            fixed(ratio_sum[mi] / ratio_n[mi],
+                                  2).c_str());
+    });
 }

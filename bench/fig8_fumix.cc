@@ -10,34 +10,44 @@
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
-    std::printf("Figure 8: number and mix of function units "
-                "(Coupled mode)\n");
-    std::printf("4 memory units, 1 branch unit; cycle count by "
-                "(#IU, #FPU)\n\n");
+    exp::ExperimentPlan plan("fig8_fumix");
+    for (const auto& b : benchmarks::all())
+        for (int iu = 1; iu <= 4; ++iu)
+            for (int fpu = 1; fpu <= 4; ++fpu)
+                plan.addBenchmark(config::fuMix(iu, fpu), b,
+                                  core::SimMode::Coupled);
 
-    for (const auto& b : benchmarks::all()) {
-        std::printf("%s:\n", b.name.c_str());
-        TextTable t;
-        t.header({"", "1 FPU", "2 FPU", "3 FPU", "4 FPU"});
-        for (int iu = 1; iu <= 4; ++iu) {
-            std::vector<std::string> row = {strCat(iu, " IU")};
-            for (int fpu = 1; fpu <= 4; ++fpu) {
-                const auto machine = config::fuMix(iu, fpu);
-                const auto r = bench::runVerified(
-                    machine, b, core::SimMode::Coupled);
-                row.push_back(strCat(r.stats.cycles));
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Figure 8: number and mix of function units "
+                    "(Coupled mode)\n");
+        std::printf("4 memory units, 1 branch unit; cycle count by "
+                    "(#IU, #FPU)\n\n");
+
+        auto outcome = sweep.outcomes.begin();
+        for (const auto& b : benchmarks::all()) {
+            std::printf("%s:\n", b.name.c_str());
+            TextTable t;
+            t.header({"", "1 FPU", "2 FPU", "3 FPU", "4 FPU"});
+            for (int iu = 1; iu <= 4; ++iu) {
+                std::vector<std::string> row = {strCat(iu, " IU")};
+                for (int fpu = 1; fpu <= 4; ++fpu)
+                    row.push_back(
+                        strCat((outcome++)->result.stats.cycles));
+                t.row(row);
             }
-            t.row(row);
+            std::printf("%s\n", t.render().c_str());
         }
-        std::printf("%s\n", t.render().c_str());
-    }
-    return 0;
+    });
 }

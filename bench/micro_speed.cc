@@ -2,8 +2,10 @@
  * @file
  * Engineering microbenchmarks (google-benchmark): compiler and
  * simulator throughput, plus ablations of simulator features (bank
- * conflict modeling, interconnect schemes). These are not paper
- * figures; they characterize the reproduction itself.
+ * conflict modeling, interconnect schemes) and the experiment-plan
+ * sweep engine itself (exp::SweepRunner at several worker counts,
+ * exp::CompileCache hit and miss paths). These are not paper figures;
+ * they characterize the reproduction itself.
  */
 
 #include <benchmark/benchmark.h>
@@ -11,11 +13,23 @@
 #include "procoup/benchmarks/benchmarks.hh"
 #include "procoup/config/presets.hh"
 #include "procoup/core/node.hh"
+#include "procoup/exp/cache.hh"
+#include "procoup/exp/runner.hh"
+#include "procoup/exp/suites.hh"
 #include "procoup/sim/simulator.hh"
+#include "procoup/support/strings.hh"
 
 namespace {
 
 using namespace procoup;
+
+/** Compiles shared by every simulation benchmark in this binary. */
+exp::CompileCache&
+compileCache()
+{
+    static exp::CompileCache cache;
+    return cache;
+}
 
 void
 BM_CompileMatrixCoupled(benchmark::State& state)
@@ -45,16 +59,34 @@ BM_CompileFftIdeal(benchmark::State& state)
 }
 BENCHMARK(BM_CompileFftIdeal)->Unit(benchmark::kMillisecond);
 
+/** The cache's hit path: what every duplicate sweep point pays. */
+void
+BM_CompileCacheHitMatrix(benchmark::State& state)
+{
+    const auto machine = config::baseline();
+    const auto bench = benchmarks::matrix();
+    const auto opts = core::optionsFor(core::SimMode::Coupled);
+    exp::CompileCache cache;
+    cache.compile(bench.threaded, machine, opts);  // warm
+    for (auto _ : state) {
+        auto compiled = cache.compile(bench.threaded, machine, opts);
+        benchmark::DoNotOptimize(compiled->program.threads.size());
+    }
+    state.counters["hits"] =
+        static_cast<double>(cache.stats().hits);
+}
+BENCHMARK(BM_CompileCacheHitMatrix)->Unit(benchmark::kMicrosecond);
+
 void
 simulateBenchmark(benchmark::State& state,
                   const core::BenchmarkSource& bench, core::SimMode mode,
                   const config::MachineConfig& machine)
 {
-    core::CoupledNode node(machine);
-    const auto compiled = node.compile(bench.forMode(mode), mode);
+    const auto compiled = compileCache().compile(
+        bench.forMode(mode), machine, core::optionsFor(mode));
     std::uint64_t cycles = 0;
     for (auto _ : state) {
-        sim::Simulator s(machine, compiled.program);
+        sim::Simulator s(machine, compiled->program);
         cycles = s.run().cycles;
         benchmark::DoNotOptimize(cycles);
     }
@@ -115,6 +147,27 @@ BM_AblationInterconnect(benchmark::State& state)
 }
 BENCHMARK(BM_AblationInterconnect)
     ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+/** The whole Table-2 grid through the sweep engine, by job count. */
+void
+BM_SweepTable2(benchmark::State& state)
+{
+    const exp::ExperimentPlan plan = exp::table2BaselinePlan();
+    for (auto _ : state) {
+        exp::RunnerOptions opts;
+        opts.jobs = static_cast<int>(state.range(0));
+        opts.cache = &compileCache();  // steady-state: compiles cached
+        exp::SweepRunner runner(opts);
+        const auto res = runner.run(plan);
+        benchmark::DoNotOptimize(res.outcomes.size());
+    }
+    state.counters["points"] = static_cast<double>(plan.size());
+}
+BENCHMARK(BM_SweepTable2)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -5,70 +5,79 @@
  * four benchmarks, with FPU and IU utilization and each mode's cycle
  * ratio to Coupled. Every run's numeric results are checked against
  * the C++ reference before being reported.
+ *
+ * The sweep grid lives in exp::table2BaselinePlan() (also replayed by
+ * tests/sweep_determinism_test.cc); this file only renders it.
  */
 
 #include <cstdio>
-#include <map>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/exp/suites.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
 
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
+    const exp::ExperimentPlan plan = exp::table2BaselinePlan();
     const auto machine = config::baseline();
-    std::printf("Table 2 / Figure 4: baseline comparisons\n");
-    std::printf("machine: 4 arithmetic clusters (IU+FPU+MEM) + 2 branch"
-                " clusters, 1-cycle units,\nfull interconnect, 1-cycle"
-                " memory\n\n");
 
-    // One simulation per (benchmark, mode); reused for both outputs.
-    std::map<std::string, std::map<core::SimMode, core::RunResult>>
-        results;
-    for (const auto& b : benchmarks::all())
-        for (auto mode : core::allSimModes()) {
-            if (mode == core::SimMode::Ideal && !b.hasIdeal())
-                continue;
-            results[b.name].emplace(
-                mode, bench::runVerified(machine, b, mode));
-        }
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        std::printf("Table 2 / Figure 4: baseline comparisons\n");
+        std::printf("machine: 4 arithmetic clusters (IU+FPU+MEM) + 2"
+                    " branch clusters, 1-cycle units,\nfull interconnect,"
+                    " 1-cycle memory\n\n");
 
-    TextTable t;
-    t.header({"Benchmark", "Mode", "#Cycles", "vs Coupled", "FPU",
-              "IU"});
-    for (const auto& b : benchmarks::all()) {
-        const auto& by_mode = results.at(b.name);
-        const double coupled = static_cast<double>(
-            by_mode.at(core::SimMode::Coupled).stats.cycles);
-        for (auto mode : core::allSimModes()) {
-            auto it = by_mode.find(mode);
-            if (it == by_mode.end())
-                continue;
-            const auto& s = it->second.stats;
-            t.row({b.name, core::simModeName(mode),
-                   strCat(s.cycles),
-                   bench::ratio(static_cast<double>(s.cycles), coupled),
-                   fixed(s.utilization(isa::UnitType::Float), 2),
-                   fixed(s.utilization(isa::UnitType::Integer), 2)});
-        }
-        t.separator();
-    }
-    std::printf("%s\n", t.render().c_str());
+        auto cycles = [&](const core::BenchmarkSource& b,
+                          core::SimMode mode) {
+            return static_cast<double>(
+                sweep.at(exp::ExperimentPlan::benchmarkLabel(b, mode,
+                                                             machine))
+                    .result.stats.cycles);
+        };
 
-    std::printf("Figure 4 series (cycles by mode):\n");
-    for (const auto& b : benchmarks::all()) {
-        std::printf("  %-7s:", b.name.c_str());
-        for (auto mode : core::allSimModes()) {
-            auto it = results.at(b.name).find(mode);
-            if (it == results.at(b.name).end())
-                continue;
-            std::printf(" %s=%llu", core::simModeName(mode).c_str(),
-                        static_cast<unsigned long long>(
-                            it->second.stats.cycles));
+        TextTable t;
+        t.header({"Benchmark", "Mode", "#Cycles", "vs Coupled", "FPU",
+                  "IU"});
+        for (const auto& b : benchmarks::all()) {
+            const double coupled = cycles(b, core::SimMode::Coupled);
+            for (auto mode : core::allSimModes()) {
+                if (mode == core::SimMode::Ideal && !b.hasIdeal())
+                    continue;
+                const auto& s =
+                    sweep.at(exp::ExperimentPlan::benchmarkLabel(
+                                 b, mode, machine))
+                        .result.stats;
+                t.row({b.name, core::simModeName(mode),
+                       strCat(s.cycles),
+                       exp::ratio(static_cast<double>(s.cycles),
+                                  coupled),
+                       fixed(s.utilization(isa::UnitType::Float), 2),
+                       fixed(s.utilization(isa::UnitType::Integer),
+                             2)});
+            }
+            t.separator();
         }
-        std::printf("\n");
-    }
-    return 0;
+        std::printf("%s\n", t.render().c_str());
+
+        std::printf("Figure 4 series (cycles by mode):\n");
+        for (const auto& b : benchmarks::all()) {
+            std::printf("  %-7s:", b.name.c_str());
+            for (auto mode : core::allSimModes()) {
+                if (mode == core::SimMode::Ideal && !b.hasIdeal())
+                    continue;
+                std::printf(" %s=%llu",
+                            core::simModeName(mode).c_str(),
+                            static_cast<unsigned long long>(
+                                cycles(b, mode)));
+            }
+            std::printf("\n");
+        }
+    });
 }

@@ -13,10 +13,13 @@
  * is the schedule the compiler laid out plus nothing else.
  */
 
-#include <algorithm>
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/harness.hh"
+#include "procoup/support/strings.hh"
+#include "procoup/support/table.hh"
 
 using namespace procoup;
 
@@ -48,62 +51,71 @@ devicesEvaluated(const sim::RunStats& stats, int thread)
 int
 main(int argc, char** argv)
 {
-    bench::statsInit(argc, argv);
     const auto machine = config::baseline();
     const auto sources = benchmarks::modelQueue();
-    core::CoupledNode node(machine);
 
+    exp::ExperimentPlan plan("table3_interference");
     // Single worker alone: the uncontended schedule rate.
-    const auto solo =
-        node.runSource(sources.single_worker, core::SimMode::Coupled);
-    const double schedule = avgIterationCycles(solo.stats, 1);
-
+    plan.addSource("queue-solo/Coupled@baseline", machine,
+                   sources.single_worker, core::SimMode::Coupled);
     // STS: one thread iterating over all 20 devices.
-    const auto sts = node.runSource(sources.sts, core::SimMode::Sts);
-    const double sts_iter = avgIterationCycles(sts.stats, 0);
-
+    plan.addSource("queue/STS@baseline", machine, sources.sts,
+                   core::SimMode::Sts);
     // Coupled: four workers with priorities 1..4 (spawn order).
-    const auto coupled =
-        node.runSource(sources.coupled, core::SimMode::Coupled);
+    plan.addSource("queue/Coupled@baseline", machine, sources.coupled,
+                   core::SimMode::Coupled);
 
-    std::printf("Table 3: per-thread interference in the queue-based "
-                "Model benchmark\n\n");
-    TextTable t;
-    t.header({"Mode", "Thread", "Schedule", "Runtime cycles/iter",
-              "Devices"});
-    t.row({"STS", "1", fixed(sts_iter, 1), fixed(sts_iter, 1),
-           strCat(devicesEvaluated(sts.stats, 0))});
-    t.separator();
+    return exp::harnessMain(plan, argc, argv, [&](
+                                const exp::SweepResult& sweep) {
+        const auto& solo =
+            sweep.at("queue-solo/Coupled@baseline").result;
+        const auto& sts = sweep.at("queue/STS@baseline").result;
+        const auto& coupled = sweep.at("queue/Coupled@baseline").result;
 
-    int total_devices = 0;
-    double weighted = 0.0;
-    for (int w = 1; w <= benchmarks::InterferenceSources::numWorkers;
-         ++w) {
-        const double iter = avgIterationCycles(coupled.stats, w);
-        const int devs = devicesEvaluated(coupled.stats, w);
-        total_devices += devs;
-        weighted += iter * devs;
-        t.row({"Coupled", strCat(w), fixed(schedule, 1),
-               fixed(iter, 1), strCat(devs)});
-    }
-    std::printf("%s\n", t.render().c_str());
+        const double schedule = avgIterationCycles(solo.stats, 1);
+        const double sts_iter = avgIterationCycles(sts.stats, 0);
 
-    if (total_devices !=
-            benchmarks::InterferenceSources::numDevices)
-        std::fprintf(stderr,
-                     "FATAL: workers evaluated %d devices, expected "
-                     "%d\n", total_devices,
-                     benchmarks::InterferenceSources::numDevices);
+        std::printf("Table 3: per-thread interference in the queue-based"
+                    " Model benchmark\n\n");
+        TextTable t;
+        t.header({"Mode", "Thread", "Schedule", "Runtime cycles/iter",
+                  "Devices"});
+        t.row({"STS", "1", fixed(sts_iter, 1), fixed(sts_iter, 1),
+               strCat(devicesEvaluated(sts.stats, 0))});
+        t.separator();
 
-    std::printf("weighted avg cycles per evaluation (Coupled): %s\n",
-                fixed(total_devices ? weighted / total_devices : 0.0,
-                      1).c_str());
-    std::printf("aggregate running time: Coupled %llu cycles vs STS "
-                "%llu cycles\n",
-                static_cast<unsigned long long>(coupled.stats.cycles),
-                static_cast<unsigned long long>(sts.stats.cycles));
-    std::printf("\nhigher-priority threads evaluate devices faster; "
-                "overlap makes the\naggregate Coupled time shorter "
-                "than STS despite per-thread dilation.\n");
-    return 0;
+        int total_devices = 0;
+        double weighted = 0.0;
+        for (int w = 1;
+             w <= benchmarks::InterferenceSources::numWorkers; ++w) {
+            const double iter = avgIterationCycles(coupled.stats, w);
+            const int devs = devicesEvaluated(coupled.stats, w);
+            total_devices += devs;
+            weighted += iter * devs;
+            t.row({"Coupled", strCat(w), fixed(schedule, 1),
+                   fixed(iter, 1), strCat(devs)});
+        }
+        std::printf("%s\n", t.render().c_str());
+
+        if (total_devices !=
+                benchmarks::InterferenceSources::numDevices)
+            std::fprintf(stderr,
+                         "FATAL: workers evaluated %d devices, expected "
+                         "%d\n", total_devices,
+                         benchmarks::InterferenceSources::numDevices);
+
+        std::printf("weighted avg cycles per evaluation (Coupled): "
+                    "%s\n",
+                    fixed(total_devices ? weighted / total_devices
+                                        : 0.0,
+                          1).c_str());
+        std::printf("aggregate running time: Coupled %llu cycles vs STS "
+                    "%llu cycles\n",
+                    static_cast<unsigned long long>(
+                        coupled.stats.cycles),
+                    static_cast<unsigned long long>(sts.stats.cycles));
+        std::printf("\nhigher-priority threads evaluate devices faster; "
+                    "overlap makes the\naggregate Coupled time shorter "
+                    "than STS despite per-thread dilation.\n");
+    });
 }

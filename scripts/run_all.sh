@@ -1,6 +1,7 @@
 #!/bin/sh
 # Build, test, and regenerate every paper table/figure and ablation.
-# Leaves test_output.txt and bench_output.txt at the repository root.
+# Leaves test_output.txt, bench_output.txt, and BENCH_sweep.json at
+# the repository root.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -19,3 +20,29 @@ ctest --test-dir build 2>&1 | tee test_output.txt
         echo
     done
 } 2>&1 | tee bench_output.txt
+
+# Sweep-engine characterization: run every runner-based harness (all
+# of bench/ except the google-benchmark micro_speed binary) in three
+# configurations and collect the per-harness wall-clock and
+# compile-cache hit rates into BENCH_sweep.json:
+#   legacy  — jobs=1, compile cache off (the pre-runner behavior)
+#   jobs1   — jobs=1, cache on (cache savings alone)
+#   jobsN   — parallel workers, cache on
+JOBS=$(nproc 2>/dev/null || echo 4)
+[ "$JOBS" -lt 4 ] && JOBS=4
+SWEEPDIR=build/sweep_reports
+mkdir -p "$SWEEPDIR"
+REPORTS=""
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    [ "$name" = "micro_speed" ] && continue
+    "$b" --jobs 1 --no-compile-cache \
+        --sweep-report "$SWEEPDIR/${name}_legacy.json" > /dev/null
+    "$b" --jobs 1 \
+        --sweep-report "$SWEEPDIR/${name}_jobs1.json" > /dev/null
+    "$b" --jobs "$JOBS" \
+        --sweep-report "$SWEEPDIR/${name}_jobsN.json" > /dev/null
+done
+python3 scripts/collect_sweep.py --out BENCH_sweep.json \
+    "$SWEEPDIR"/*.json

@@ -40,6 +40,9 @@ const std::vector<core::BenchmarkSource>& all();
 /** Look a benchmark up by name ("Matrix", "FFT", "LUD", "Model"). */
 const core::BenchmarkSource& byName(const std::string& name);
 
+/** Look a benchmark up by its stable id (its position in all()). */
+const core::BenchmarkSource& byId(int id);
+
 /**
  * Check a finished run of benchmark @p name against the C++
  * reference.

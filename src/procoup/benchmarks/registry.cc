@@ -10,8 +10,13 @@ namespace benchmarks {
 const std::vector<core::BenchmarkSource>&
 all()
 {
-    static const std::vector<core::BenchmarkSource> suite = {
-        matrix(), fft(), lud(), model()};
+    static const std::vector<core::BenchmarkSource> suite = [] {
+        std::vector<core::BenchmarkSource> s = {matrix(), fft(), lud(),
+                                                model()};
+        for (std::size_t i = 0; i < s.size(); ++i)
+            s[i].id = static_cast<int>(i);
+        return s;
+    }();
     return suite;
 }
 
@@ -22,6 +27,15 @@ byName(const std::string& name)
         if (b.name == name)
             return b;
     throw CompileError(strCat("unknown benchmark: ", name));
+}
+
+const core::BenchmarkSource&
+byId(int id)
+{
+    const auto& suite = all();
+    if (id < 0 || id >= static_cast<int>(suite.size()))
+        throw CompileError(strCat("benchmark id out of range: ", id));
+    return suite[static_cast<std::size_t>(id)];
 }
 
 bool

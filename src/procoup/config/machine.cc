@@ -142,6 +142,39 @@ MachineConfig::countUnits(isa::UnitType t) const
 }
 
 std::string
+MachineConfig::compileFingerprint() const
+{
+    // Every machine field sched::compile() consults. The compiler
+    // schedules against the cluster/unit/latency structure only; see
+    // the header contract before adding fields here.
+    std::string s = "clusters[";
+    for (const auto& c : clusters) {
+        s += "(";
+        for (const auto& u : c.units)
+            s += strCat(unitTypeName(u.type), ":", u.latency, ",");
+        s += ")";
+    }
+    s += "]";
+    return s;
+}
+
+std::string
+MachineConfig::fingerprint() const
+{
+    return strCat(
+        compileFingerprint(), "|ic=",
+        interconnectSchemeName(interconnect), "|arb=",
+        arbitrationPolicyName(arbitration), "|mem=",
+        memory.hitLatency, ",", memory.missRate, ",",
+        memory.missPenaltyMin, ",", memory.missPenaltyMax, ",",
+        memory.numBanks, ",", memory.modelBankConflicts, ",",
+        memory.seed, "|oc=", opCache.enabled, ",",
+        opCache.linesPerUnit, ",", opCache.rowsPerLine, ",",
+        opCache.missPenalty, "|act=", maxActiveThreads, ",",
+        swapOutIdleCycles, "|ddl=", deadlockCycleLimit);
+}
+
+std::string
 MachineConfig::toString() const
 {
     std::string s = strCat("machine ", name, " (",

@@ -161,6 +161,26 @@ struct MachineConfig
     int countUnits(isa::UnitType t) const;
 
     std::string toString() const;
+
+    /**
+     * Canonical one-line encoding of the complete configuration
+     * (clusters, interconnect, arbitration, memory model, operation
+     * caches, thread management). Two configs with equal fingerprints
+     * simulate identically; the name is deliberately excluded.
+     */
+    std::string fingerprint() const;
+
+    /**
+     * Encoding of only the fields sched::compile() reads — today the
+     * cluster/unit/latency structure. Configs with equal compile
+     * fingerprints produce identical compilations for the same source
+     * and options, so exp::CompileCache keys on this: sweeps over
+     * interconnect, memory model, arbitration, or thread-management
+     * knobs share one compile per (source, options) pair. Must be
+     * extended if the compiler ever starts depending on more of the
+     * machine description.
+     */
+    std::string compileFingerprint() const;
 };
 
 } // namespace config

@@ -96,11 +96,22 @@ CoupledNode::compile(const std::string& source, SimMode mode) const
 RunResult
 CoupledNode::run(const isa::Program& program) const
 {
+    return run(program, nullptr, false);
+}
+
+RunResult
+CoupledNode::run(const isa::Program& program, const sim::TraceFn& tracer,
+                 bool trace_stalls) const
+{
     RunResult out;
     // Keep the program (symbols in particular) with the result so
     // value()/intValue() work even without a CompileResult.
     out.compiled.program = program;
     sim::Simulator simulator(_machine, program);
+    if (tracer) {
+        simulator.setTracer(tracer);
+        simulator.setTraceStalls(trace_stalls);
+    }
     out.stats = simulator.run();
     out.memory.reserve(program.memorySize);
     for (std::uint32_t a = 0; a < program.memorySize; ++a)

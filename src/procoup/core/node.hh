@@ -59,6 +59,12 @@ struct BenchmarkSource
 {
     std::string name;
 
+    /** Stable position in benchmarks::all() (the paper's order), or
+     *  -1 for sources not in the registry. Harnesses key sweep
+     *  results by this id (or by sweep-point label) instead of
+     *  re-deriving keys from the name. */
+    int id = -1;
+
     /** Single-threaded version (SEQ and STS runs). */
     std::string sequential;
 
@@ -108,6 +114,11 @@ class CoupledNode
 
     /** Execute a compiled program to completion. */
     RunResult run(const isa::Program& program) const;
+
+    /** Execute with a trace sink installed (nullptr = no tracing).
+     *  Tracing is observational: results and stats are unchanged. */
+    RunResult run(const isa::Program& program, const sim::TraceFn& tracer,
+                  bool trace_stalls) const;
 
     /** Compile and run in one step. */
     RunResult runSource(const std::string& source, SimMode mode) const;

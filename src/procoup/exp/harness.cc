@@ -1,0 +1,191 @@
+#include "procoup/exp/harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "procoup/sched/report.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace exp {
+
+namespace {
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--jobs N] [--list] [--filter SUBSTRING]\n"
+        "       [--stats-json FILE] [--sweep-report FILE]\n"
+        "       [--no-compile-cache]\n"
+        "see src/procoup/exp/harness.hh for flag semantics\n",
+        argv0);
+    std::exit(1);
+}
+
+void
+writeFileOrDie(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    out << content;
+}
+
+} // namespace
+
+HarnessOptions
+HarnessOptions::parse(int argc, char** argv)
+{
+    HarnessOptions o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (a == "--jobs") {
+            o.jobs = static_cast<int>(
+                std::strtol(next().c_str(), nullptr, 10));
+            if (o.jobs < 1)
+                usage(argv[0]);
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            o.jobs = static_cast<int>(
+                std::strtol(a.c_str() + 7, nullptr, 10));
+            if (o.jobs < 1)
+                usage(argv[0]);
+        } else if (a == "--list") {
+            o.list = true;
+        } else if (a == "--filter") {
+            o.filter = next();
+        } else if (a.rfind("--filter=", 0) == 0) {
+            o.filter = a.substr(9);
+        } else if (a == "--stats-json") {
+            o.statsJsonPath = next();
+        } else if (a.rfind("--stats-json=", 0) == 0) {
+            o.statsJsonPath = a.substr(13);
+        } else if (a == "--sweep-report") {
+            o.sweepReportPath = next();
+        } else if (a.rfind("--sweep-report=", 0) == 0) {
+            o.sweepReportPath = a.substr(15);
+        } else if (a == "--no-compile-cache") {
+            o.compileCache = false;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+std::string
+formatStatsBundle(const SweepResult& result)
+{
+    std::string out =
+        "{\"schema\": \"procoup-stats-bundle/1\", \"runs\": [\n";
+    bool first = true;
+    for (const auto& o : result.outcomes) {
+        out += strCat(first ? "" : ",\n", "{\"label\": ",
+                      jsonQuote(o.point->label), ",\n\"stats\": ",
+                      sched::formatStatsJson(o.result.stats,
+                                             o.point->machine),
+                      "}");
+        first = false;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::string
+formatSweepReport(const ExperimentPlan& plan, const SweepResult& result,
+                  const HarnessOptions& options)
+{
+    double point_ms = 0.0;
+    for (const auto& o : result.outcomes)
+        point_ms += o.wallMs;
+    return strCat(
+        "{\"schema\": \"procoup-sweep/1\",\n\"harness\": ",
+        jsonQuote(plan.name()), ",\n\"jobs\": ", result.jobs,
+        ",\n\"points\": ", result.outcomes.size(),
+        ",\n\"wall_ms\": ", fixed(result.wallMs, 3),
+        ",\n\"point_wall_ms_total\": ", fixed(point_ms, 3),
+        ",\n\"compile_cache\": {\"enabled\": ",
+        options.compileCache ? "true" : "false",
+        ", \"hits\": ", result.cacheStats.hits,
+        ", \"misses\": ", result.cacheStats.misses,
+        ", \"hit_rate\": ", fixed(result.cacheStats.hitRate(), 4),
+        "}}\n");
+}
+
+int
+runHarness(const ExperimentPlan& plan, const HarnessOptions& options,
+           const std::function<void(const SweepResult&)>& render)
+{
+    if (options.list) {
+        for (const auto& p : plan.points())
+            std::printf("%s\n", p.label.c_str());
+        return 0;
+    }
+
+    const bool filtered = !options.filter.empty();
+    const ExperimentPlan subset =
+        filtered ? plan.filtered(options.filter) : ExperimentPlan("");
+    const ExperimentPlan& to_run = filtered ? subset : plan;
+    if (filtered && to_run.empty()) {
+        std::fprintf(stderr, "--filter %s matches no sweep point\n",
+                     options.filter.c_str());
+        return 1;
+    }
+
+    RunnerOptions ropts;
+    ropts.jobs = options.jobs;
+    ropts.cacheEnabled = options.compileCache;
+    SweepRunner runner(ropts);
+    const SweepResult result = runner.run(to_run);
+
+    if (filtered) {
+        // Single-point/CI mode: a standard summary instead of the
+        // harness's full-grid rendering (which needs every point).
+        for (const auto& o : result.outcomes)
+            std::printf("%-48s %10llu cycles  ops %llu%s%s\n",
+                        o.point->label.c_str(),
+                        static_cast<unsigned long long>(
+                            o.result.stats.cycles),
+                        static_cast<unsigned long long>(
+                            o.result.stats.totalOps),
+                        o.point->verifyBenchmark.empty()
+                            ? ""
+                            : "  verify OK",
+                        o.compileCached ? "  [compile cached]" : "");
+    } else {
+        render(result);
+    }
+
+    if (!options.statsJsonPath.empty())
+        writeFileOrDie(options.statsJsonPath,
+                       formatStatsBundle(result));
+    if (!options.sweepReportPath.empty())
+        writeFileOrDie(options.sweepReportPath,
+                       formatSweepReport(to_run, result, options));
+    return 0;
+}
+
+int
+harnessMain(const ExperimentPlan& plan, int argc, char** argv,
+            const std::function<void(const SweepResult&)>& render)
+{
+    return runHarness(plan, HarnessOptions::parse(argc, argv), render);
+}
+
+std::string
+ratio(double num, double den)
+{
+    return fixed(den == 0.0 ? 0.0 : num / den, 2);
+}
+
+} // namespace exp
+} // namespace procoup

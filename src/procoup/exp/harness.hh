@@ -1,0 +1,91 @@
+#ifndef PROCOUP_EXP_HARNESS_HH
+#define PROCOUP_EXP_HARNESS_HH
+
+/**
+ * @file
+ * Shared main() scaffolding for the experiment harnesses under
+ * `bench/`. A harness builds an ExperimentPlan and calls
+ * harnessMain(); everything else — flag parsing, the worker pool, the
+ * compile cache, stats bundles, sweep reports — is implemented once
+ * here.
+ *
+ * Flags every runner-based harness accepts:
+ *
+ *   --jobs N            worker threads (default: hardware concurrency;
+ *                       1 = legacy serial execution)
+ *   --list              print every sweep-point label and exit
+ *   --filter SUBSTRING  run only points whose label contains SUBSTRING
+ *                       and print a per-point summary instead of the
+ *                       harness's full table rendering
+ *   --stats-json FILE   write a "procoup-stats-bundle/1" JSON bundle
+ *                       with every executed point's stall-cause
+ *                       attribution (PR 1's observability surface)
+ *   --sweep-report FILE write a "procoup-sweep/1" JSON record of the
+ *                       sweep's wall-clock, job count, and compile-
+ *                       cache hit rate (scripts/run_all.sh collects
+ *                       these into BENCH_sweep.json)
+ *   --no-compile-cache  compile every point afresh (the legacy
+ *                       behavior, for baseline measurements)
+ *
+ * Output determinism: the rendering callback runs after the sweep
+ * completes, over outcomes in plan order, so harness output is
+ * byte-identical at any --jobs count.
+ */
+
+#include <functional>
+#include <string>
+
+#include "procoup/exp/plan.hh"
+#include "procoup/exp/runner.hh"
+
+namespace procoup {
+namespace exp {
+
+/** Parsed common harness flags. */
+struct HarnessOptions
+{
+    int jobs = 0;  ///< 0 = hardware concurrency
+    bool list = false;
+    std::string filter;
+    std::string statsJsonPath;
+    std::string sweepReportPath;
+    bool compileCache = true;
+
+    /**
+     * Parse the common flags from argv (exits with usage on a
+     * malformed or unknown option). All harness binaries accept
+     * exactly this flag set.
+     */
+    static HarnessOptions parse(int argc, char** argv);
+};
+
+/**
+ * Execute @p plan under @p options and hand the outcomes to
+ * @p render. Handles --list (prints labels, no runs), --filter (runs
+ * the matching subset and prints per-point summaries instead of
+ * calling @p render), the --stats-json bundle, and the --sweep-report
+ * record. @return process exit code.
+ */
+int runHarness(const ExperimentPlan& plan, const HarnessOptions& options,
+               const std::function<void(const SweepResult&)>& render);
+
+/** Parse-and-run convenience: the usual last line of a harness main. */
+int harnessMain(const ExperimentPlan& plan, int argc, char** argv,
+                const std::function<void(const SweepResult&)>& render);
+
+/** Render the "procoup-stats-bundle/1" JSON for @p result (one entry
+ *  per executed point, labeled with the point's label). */
+std::string formatStatsBundle(const SweepResult& result);
+
+/** Render the "procoup-sweep/1" JSON sweep report. */
+std::string formatSweepReport(const ExperimentPlan& plan,
+                              const SweepResult& result,
+                              const HarnessOptions& options);
+
+/** num/den as a fixed 2-decimal string ("0.00" when den == 0). */
+std::string ratio(double num, double den);
+
+} // namespace exp
+} // namespace procoup
+
+#endif // PROCOUP_EXP_HARNESS_HH

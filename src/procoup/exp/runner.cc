@@ -1,0 +1,147 @@
+#include "procoup/exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace exp {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+const RunOutcome&
+SweepResult::at(const std::string& label) const
+{
+    for (const auto& o : outcomes)
+        if (o.point->label == label)
+            return o;
+    PROCOUP_PANIC(strCat("no sweep outcome labeled ", label));
+}
+
+SweepRunner::SweepRunner(RunnerOptions options)
+    : _options(options)
+{
+    if (_options.cache) {
+        _cache = _options.cache;
+    } else {
+        _ownedCache = std::make_unique<CompileCache>();
+        _cache = _ownedCache.get();
+    }
+    _cache->setEnabled(_options.cacheEnabled);
+}
+
+int
+SweepRunner::resolveJobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+RunOutcome
+SweepRunner::execute(const SweepPoint& point)
+{
+    const auto start = std::chrono::steady_clock::now();
+    RunOutcome out;
+    out.point = &point;
+
+    auto compiled = _cache->compile(point.source, point.machine,
+                                    point.options, &out.compileCached);
+
+    core::CoupledNode node(point.machine);
+    out.result =
+        node.run(compiled->program, point.tracer, point.traceStalls);
+    out.result.compiled = *compiled;
+
+    if (!point.verifyBenchmark.empty()) {
+        std::string why;
+        if (!benchmarks::verify(point.verifyBenchmark, out.result, &why))
+            out.error = strCat(point.verifyBenchmark, "/",
+                               core::simModeName(point.mode),
+                               " computed a wrong result: ", why);
+    }
+    out.wallMs = msSince(start);
+    return out;
+}
+
+SweepResult
+SweepRunner::run(const ExperimentPlan& plan)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto cache_before = _cache->stats();
+
+    SweepResult res;
+    res.jobs = resolveJobs(_options.jobs);
+    res.outcomes.resize(plan.size());
+    std::vector<std::exception_ptr> failures(plan.size());
+
+    auto work = [&](std::size_t i) {
+        try {
+            res.outcomes[i] = execute(plan.points()[i]);
+        } catch (...) {
+            failures[i] = std::current_exception();
+        }
+    };
+
+    if (res.jobs <= 1 || plan.size() <= 1) {
+        // Inline: exactly the legacy serial loop, same thread.
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            work(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        const int workers =
+            std::min<std::size_t>(res.jobs, plan.size());
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < plan.size(); i = next.fetch_add(1))
+                    work(i);
+            });
+        for (auto& t : pool)
+            t.join();
+    }
+
+    // Deterministic reduction: failures surface in plan order.
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        if (failures[i])
+            std::rethrow_exception(failures[i]);
+
+    bool verify_failed = false;
+    for (const auto& o : res.outcomes)
+        if (!o.error.empty()) {
+            verify_failed = true;
+            if (_options.exitOnVerifyFailure)
+                std::fprintf(stderr, "FATAL: %s\n", o.error.c_str());
+        }
+    if (verify_failed && _options.exitOnVerifyFailure)
+        std::exit(1);
+
+    const auto cache_after = _cache->stats();
+    res.cacheStats.hits = cache_after.hits - cache_before.hits;
+    res.cacheStats.misses = cache_after.misses - cache_before.misses;
+    res.wallMs = msSince(start);
+    return res;
+}
+
+} // namespace exp
+} // namespace procoup

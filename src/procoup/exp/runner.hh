@@ -1,0 +1,114 @@
+#ifndef PROCOUP_EXP_RUNNER_HH
+#define PROCOUP_EXP_RUNNER_HH
+
+/**
+ * @file
+ * Parallel, compile-cached execution of an ExperimentPlan.
+ *
+ * The SweepRunner executes every point of a plan on a pool of
+ * std::thread workers (--jobs N; jobs=1 runs everything inline on the
+ * calling thread, preserving the legacy serial behavior exactly).
+ * Each point is independent work — compile via the shared
+ * CompileCache, simulate on a private Simulator, verify against the
+ * C++ reference — so the pool partitions over points and a
+ * deterministic reduction collects outcomes.
+ *
+ * Determinism contract: outcomes are returned in plan order, each
+ * point's simulation owns all of its mutable state (including its RNG
+ * stream, see support/rng.hh), and the compile cache memoizes a pure
+ * function. Stats, rendered tables, --stats-json bundles, and
+ * verification output are therefore byte-identical at any job count;
+ * tests/sweep_determinism_test.cc enforces this.
+ *
+ * Verification failures do not abort mid-sweep from a worker thread:
+ * they are collected and reported on stderr in plan order after the
+ * pool drains, and the process exits 1 (the same observable contract
+ * the serial harnesses had).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "procoup/core/node.hh"
+#include "procoup/exp/cache.hh"
+#include "procoup/exp/plan.hh"
+
+namespace procoup {
+namespace exp {
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    int jobs = 0;
+
+    /** Share an external compile cache (e.g. across a harness's
+     *  plans, or pcsim's dump path); nullptr = runner-owned cache. */
+    CompileCache* cache = nullptr;
+
+    /** Turn compile caching off (legacy-equivalent measurement). */
+    bool cacheEnabled = true;
+
+    /** Abort the process on a verification failure (default), or
+     *  leave the failure in RunOutcome::error for the caller. */
+    bool exitOnVerifyFailure = true;
+};
+
+/** What one executed sweep point produced. */
+struct RunOutcome
+{
+    const SweepPoint* point = nullptr;  ///< owned by the caller's plan
+    core::RunResult result;
+
+    /** Non-empty if verification failed (only seen by callers that
+     *  set exitOnVerifyFailure = false). */
+    std::string error;
+
+    /** This point's compile was served from the cache. */
+    bool compileCached = false;
+
+    /** Wall-clock this point took (compile + simulate + verify). */
+    double wallMs = 0.0;
+};
+
+/** All outcomes of one plan execution, in plan order. */
+struct SweepResult
+{
+    std::vector<RunOutcome> outcomes;
+    CompileCache::Stats cacheStats;
+    double wallMs = 0.0;  ///< whole-sweep wall-clock
+    int jobs = 1;         ///< resolved worker count
+
+    /** Outcome of the point labeled @p label. @throws if absent */
+    const RunOutcome& at(const std::string& label) const;
+};
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(RunnerOptions options = {});
+
+    /** Execute every point of @p plan; outcomes in plan order. The
+     *  plan must outlive the returned result (outcomes point into
+     *  it). Worker exceptions (e.g. CompileError) are rethrown on the
+     *  calling thread, first failing point in plan order. */
+    SweepResult run(const ExperimentPlan& plan);
+
+    CompileCache& cache() { return *_cache; }
+
+    /** The worker count @p requested resolves to (0 -> hardware). */
+    static int resolveJobs(int requested);
+
+  private:
+    RunOutcome execute(const SweepPoint& point);
+
+    RunnerOptions _options;
+    std::unique_ptr<CompileCache> _ownedCache;
+    CompileCache* _cache;
+};
+
+} // namespace exp
+} // namespace procoup
+
+#endif // PROCOUP_EXP_RUNNER_HH

@@ -1,0 +1,24 @@
+#include "procoup/exp/suites.hh"
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+
+namespace procoup {
+namespace exp {
+
+ExperimentPlan
+table2BaselinePlan()
+{
+    ExperimentPlan plan("table2_baseline");
+    const auto machine = config::baseline();
+    for (const auto& b : benchmarks::all())
+        for (auto mode : core::allSimModes()) {
+            if (mode == core::SimMode::Ideal && !b.hasIdeal())
+                continue;
+            plan.addBenchmark(machine, b, mode);
+        }
+    return plan;
+}
+
+} // namespace exp
+} // namespace procoup

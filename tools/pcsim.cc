@@ -11,6 +11,9 @@
  *   --machine FILE                     s-expression machine description
  *   --interconnect full|tri-port|dual-port|single-port|shared-bus
  *   --mem min|mem1|mem2                memory model preset
+ *   --jobs N                           accepted for CLI uniformity with
+ *                                      the bench harnesses (a single
+ *                                      program is one sweep point)
  *   --dump-asm                         print the compiled assembly
  *   --dump-ir                          print the optimized IR
  *   --dump-schedule                    print Figure-1-style schedules
@@ -24,6 +27,10 @@
  *                                      stall-cause attribution
  *   --verify                           (with --benchmark) check results
  *   --sym NAME                         print a data symbol after the run
+ *
+ * The run itself goes through exp::SweepRunner as a one-point
+ * ExperimentPlan sharing a compile cache with the dump path, exactly
+ * like the bench/ harness grids.
  *
  * Exit status: 0 on success, 1 on compile/simulation errors or a
  * failed verification.
@@ -40,6 +47,9 @@
 #include "procoup/config/parse.hh"
 #include "procoup/config/presets.hh"
 #include "procoup/core/node.hh"
+#include "procoup/exp/cache.hh"
+#include "procoup/exp/plan.hh"
+#include "procoup/exp/runner.hh"
 #include "procoup/ir/frontend.hh"
 #include "procoup/isa/asmtext.hh"
 #include "procoup/opt/passes.hh"
@@ -96,6 +106,7 @@ struct Options
     config::MachineConfig machine = config::baseline();
     std::string source_file;
     std::string benchmark;
+    int jobs = 1;
     bool dump_asm = false;
     bool dump_ir = false;
     bool dump_schedule = false;
@@ -144,6 +155,11 @@ parseArgs(int argc, char** argv)
                 usage(argv[0]);
         } else if (a == "--benchmark") {
             o.benchmark = next();
+        } else if (a == "--jobs") {
+            o.jobs = static_cast<int>(
+                std::strtol(next().c_str(), nullptr, 10));
+            if (o.jobs < 1)
+                usage(argv[0]);
         } else if (a == "--dump-asm") {
             o.dump_asm = true;
         } else if (a == "--dump-ir") {
@@ -198,31 +214,52 @@ try {
         std::printf("%s\n", mod.toString().c_str());
     }
 
-    core::CoupledNode node(o.machine);
-    auto compiled = node.compile(source, o.mode);
+    // Compile once for the dump output; the runner's own compile of
+    // the same point is then a cache hit, never a second compilation.
+    exp::CompileCache cache;
+    const auto compiled =
+        cache.compile(source, o.machine, core::optionsFor(o.mode));
 
     if (o.dump_asm)
-        std::printf("%s\n", isa::printAssembly(compiled.program).c_str());
+        std::printf("%s\n",
+                    isa::printAssembly(compiled->program).c_str());
     if (o.dump_schedule)
-        for (const auto& t : compiled.program.threads)
+        for (const auto& t : compiled->program.threads)
             std::printf("%s\n",
                         sched::formatSchedule(t, o.machine).c_str());
     if (o.diag)
-        std::printf("%s\n", sched::formatDiagnostics(compiled).c_str());
+        std::printf("%s\n",
+                    sched::formatDiagnostics(*compiled).c_str());
 
-    sim::Simulator simulator(o.machine, compiled.program);
+    exp::ExperimentPlan plan("pcsim");
+    exp::SweepPoint& point = plan.addSource(
+        !o.benchmark.empty()
+            ? exp::ExperimentPlan::benchmarkLabel(
+                  benchmarks::byName(o.benchmark), o.mode, o.machine)
+            : strCat(o.source_file, "/", core::simModeName(o.mode), "@",
+                     o.machine.name),
+        o.machine, source, o.mode);
+
     long traced = 0;
     std::vector<sim::TraceEvent> collected;
     if (o.do_trace || !o.trace_out.empty()) {
-        simulator.setTracer([&](const sim::TraceEvent& e) {
+        point.tracer = [&](const sim::TraceEvent& e) {
             if (o.do_trace && traced++ < o.max_trace)
                 std::printf("%s\n", e.toString().c_str());
             if (!o.trace_out.empty())
                 collected.push_back(e);
-        });
-        simulator.setTraceStalls(o.trace_stalls);
+        };
+        point.traceStalls = o.trace_stalls;
     }
-    const auto stats = simulator.run();
+
+    exp::RunnerOptions ropts;
+    ropts.jobs = o.jobs;
+    ropts.cache = &cache;
+    exp::SweepRunner runner(ropts);
+    const exp::SweepResult sweep = runner.run(plan);
+    const core::RunResult& rr = sweep.outcomes.front().result;
+    const sim::RunStats& stats = rr.stats;
+
     if (o.do_trace && traced > o.max_trace)
         std::printf("... %ld further events suppressed\n",
                     traced - o.max_trace);
@@ -248,27 +285,18 @@ try {
 
     std::printf("%s", stats.summary().c_str());
     std::printf("peak registers/cluster: %u\n",
-                compiled.peakRegistersPerCluster());
+                rr.compiled.peakRegistersPerCluster());
 
     for (const auto& name : o.symbols) {
-        const auto& sym = compiled.program.symbol(name);
+        const auto& sym = rr.compiled.program.symbol(name);
         std::printf("%s:", name.c_str());
         for (std::uint32_t k = 0; k < sym.size && k < 16; ++k)
             std::printf(" %s",
-                        simulator.memory()
-                            .peek(sym.base + k)
-                            .toString()
-                            .c_str());
+                        rr.memory.at(sym.base + k).toString().c_str());
         std::printf(sym.size > 16 ? " ...\n" : "\n");
     }
 
     if (o.verify && !o.benchmark.empty()) {
-        core::RunResult rr;
-        rr.compiled = std::move(compiled);
-        rr.stats = stats;
-        for (std::uint32_t a = 0; a < rr.compiled.program.memorySize;
-             ++a)
-            rr.memory.push_back(simulator.memory().peek(a));
         std::string why;
         if (!benchmarks::verify(o.benchmark, rr, &why)) {
             std::fprintf(stderr, "VERIFY FAILED: %s\n", why.c_str());
