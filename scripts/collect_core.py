@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Distill google-benchmark JSON from micro_speed into BENCH_core.json.
+
+scripts/run_all.sh runs `micro_speed --benchmark_format=json` and feeds
+the output here. The raw report is verbose (per-iteration detail,
+context block, one entry per repetition); this script keeps the fields
+that matter for tracking simulator core throughput over time:
+real_time per benchmark, the simulated-cycle counters emitted by the
+BM_Simulate* family, and the derived simulated-cycles-per-second rate.
+
+Usage:
+  collect_core.py --out BENCH_core.json RAW.json
+  collect_core.py --check RAW.json
+      Validate that the report parses and every BM_Simulate* entry
+      carries the sim_cycles/cycles_per_sec counters; exit non-zero
+      otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if "benchmarks" not in doc or not isinstance(doc["benchmarks"], list):
+        fail(f"{path}: not a google-benchmark JSON report "
+             f"(missing 'benchmarks' list)")
+    return doc
+
+
+def distill(doc, path):
+    out = {}
+    for b in doc["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue  # keep raw repetitions only; we aggregate below
+        name = b.get("name")
+        if not name or "real_time" not in b:
+            fail(f"{path}: benchmark entry without name/real_time")
+        entry = out.setdefault(name, {
+            "time_unit": b.get("time_unit", "ns"),
+            "real_time": [],
+        })
+        entry["real_time"].append(b["real_time"])
+        if name.startswith("BM_Simulate"):
+            for key in ("sim_cycles", "cycles_per_sec"):
+                if key not in b:
+                    fail(f"{path}: {name} is missing the '{key}' "
+                         f"counter")
+            entry["sim_cycles"] = b["sim_cycles"]
+            entry["cycles_per_sec"] = b["cycles_per_sec"]
+
+    for name, entry in out.items():
+        times = entry.pop("real_time")
+        entry["real_time_min"] = min(times)
+        entry["repetitions"] = len(times)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", help="write distilled BENCH_core.json here")
+    ap.add_argument("--check", action="store_true",
+                    help="validate only, no output file")
+    ap.add_argument("report")
+    args = ap.parse_args()
+
+    doc = load(args.report)
+    distilled = distill(doc, args.report)
+    if not distilled:
+        fail(f"{args.report}: no benchmark entries")
+    if args.check:
+        print(f"ok: {len(distilled)} benchmarks validated")
+        return
+    if not args.out:
+        ap.error("--out or --check required")
+    bundle = {
+        "schema": "procoup-core-bench/1",
+        "context": {k: doc.get("context", {}).get(k)
+                    for k in ("date", "host_name", "num_cpus",
+                              "library_build_type")},
+        "benchmarks": distilled,
+    }
+    with open(args.out, "w") as f:
+        json.dump(bundle, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(distilled)} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

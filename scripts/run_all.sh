@@ -1,7 +1,7 @@
 #!/bin/sh
 # Build, test, and regenerate every paper table/figure and ablation.
-# Leaves test_output.txt, bench_output.txt, and BENCH_sweep.json at
-# the repository root.
+# Leaves test_output.txt, bench_output.txt, BENCH_sweep.json, and
+# BENCH_core.json at the repository root.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -46,3 +46,10 @@ for b in build/bench/*; do
 done
 python3 scripts/collect_sweep.py --out BENCH_sweep.json \
     "$SWEEPDIR"/*.json
+
+# Simulator-core throughput: the google-benchmark microbenchmarks,
+# distilled to per-benchmark real time and simulated cycles/second.
+build/bench/micro_speed --benchmark_format=json \
+    --benchmark_min_time=0.2 > build/micro_speed_raw.json
+python3 scripts/collect_core.py --out BENCH_core.json \
+    build/micro_speed_raw.json

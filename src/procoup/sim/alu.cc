@@ -65,29 +65,33 @@ floatBin(Opcode op, double a, double b)
 } // namespace
 
 Value
-evalAlu(Opcode op, const std::vector<Value>& srcs)
+evalAlu(Opcode op, std::span<const Value> srcs)
 {
+    auto arg = [&](std::size_t i) -> const Value& {
+        PROCOUP_ASSERT(i < srcs.size(), "ALU operand count mismatch");
+        return srcs[i];
+    };
     switch (op) {
       case Opcode::INEG:
-        return Value::makeInt(-srcs.at(0).asInt());
+        return Value::makeInt(-arg(0).asInt());
       case Opcode::INOT:
-        return Value::makeInt(srcs.at(0).asInt() == 0);
+        return Value::makeInt(arg(0).asInt() == 0);
       case Opcode::FNEG:
-        return Value::makeFloat(-srcs.at(0).asFloat());
+        return Value::makeFloat(-arg(0).asFloat());
       case Opcode::ITOF:
-        return Value::makeFloat(static_cast<double>(srcs.at(0).asInt()));
+        return Value::makeFloat(static_cast<double>(arg(0).asInt()));
       case Opcode::FTOI:
         return Value::makeInt(static_cast<std::int64_t>(
-            srcs.at(0).asFloat()));
+            arg(0).asFloat()));
       case Opcode::MOV:
       case Opcode::FMOV:
-        return srcs.at(0);
+        return arg(0);
       default:
         break;
     }
 
-    const Value& a = srcs.at(0);
-    const Value& b = srcs.at(1);
+    const Value& a = arg(0);
+    const Value& b = arg(1);
     if (unitTypeOf(op) == isa::UnitType::Integer)
         return intBin(op, a.asInt(), b.asInt());
     return floatBin(op, a.asFloat(), b.asFloat());

@@ -9,7 +9,8 @@
  * timing is handled by the surrounding pipeline model.
  */
 
-#include <vector>
+#include <initializer_list>
+#include <span>
 
 #include "procoup/isa/opcode.hh"
 #include "procoup/isa/value.hh"
@@ -20,12 +21,23 @@ namespace sim {
 /**
  * Evaluate an IU/FPU operation over resolved source values.
  *
+ * Taking a span (rather than a concrete container) lets the simulator
+ * pass its inline source buffer without copying.
+ *
  * @param op     an integer- or float-unit opcode that writes a register
  * @param srcs   source values, in operand order
  * @return the result word
  * @throws SimError on integer division/modulo by zero
  */
-isa::Value evalAlu(isa::Opcode op, const std::vector<isa::Value>& srcs);
+isa::Value evalAlu(isa::Opcode op, std::span<const isa::Value> srcs);
+
+/** Braced-list convenience (tests, constant folding). */
+inline isa::Value
+evalAlu(isa::Opcode op, std::initializer_list<isa::Value> srcs)
+{
+    return evalAlu(op,
+                   std::span<const isa::Value>(srcs.begin(), srcs.size()));
+}
 
 } // namespace sim
 } // namespace procoup

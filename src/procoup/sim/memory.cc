@@ -1,6 +1,7 @@
 #include "procoup/sim/memory.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "procoup/support/error.hh"
 #include "procoup/support/strings.hh"
@@ -179,13 +180,15 @@ MemorySystem::wakeParked(std::uint32_t addr,
         parked.erase(it);
 }
 
-std::vector<CompletedLoad>
-MemorySystem::tick(std::uint64_t cycle)
+void
+MemorySystem::tick(std::uint64_t cycle, std::vector<CompletedLoad>& done)
 {
-    std::vector<CompletedLoad> done;
+    if (inFlight.empty() || inFlight.begin()->first > cycle)
+        return;
 
     // Arrivals for this cycle, in (arrival, issue-id) order.
-    std::vector<Transaction> arrivals;
+    std::vector<Transaction>& arrivals = arrivalScratch;
+    arrivals.clear();
     for (auto it = inFlight.begin();
          it != inFlight.end() && it->first <= cycle;) {
         arrivals.push_back(std::move(it->second));
@@ -210,7 +213,22 @@ MemorySystem::tick(std::uint64_t cycle)
         if (changed)
             wakeParked(addr, done, cycle);
     }
+}
+
+std::vector<CompletedLoad>
+MemorySystem::tick(std::uint64_t cycle)
+{
+    std::vector<CompletedLoad> done;
+    tick(cycle, done);
     return done;
+}
+
+std::uint64_t
+MemorySystem::nextArrivalCycle() const
+{
+    if (inFlight.empty())
+        return std::numeric_limits<std::uint64_t>::max();
+    return inFlight.begin()->first;
 }
 
 bool

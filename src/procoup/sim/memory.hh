@@ -73,11 +73,22 @@ class MemorySystem
     /**
      * Advance to @p cycle: process arrivals in issue order, run
      * precondition checks, park or perform, wake parked waiters on
-     * presence-bit changes.
-     *
-     * @return loads completed this cycle (ready for writeback now)
+     * presence-bit changes. Loads completed this cycle (ready for
+     * writeback now) are appended to @p done; callers on the per-cycle
+     * hot path pass a reused scratch vector.
      */
+    void tick(std::uint64_t cycle, std::vector<CompletedLoad>& done);
+
+    /** Convenience overload returning the completions by value. */
     std::vector<CompletedLoad> tick(std::uint64_t cycle);
+
+    /**
+     * The arrival cycle of the earliest in-flight transaction, or
+     * UINT64_MAX when none is in flight. Parked references never move
+     * on their own, so before this cycle tick() cannot complete or
+     * wake anything — the basis of quiescent-cycle fast-forward.
+     */
+    std::uint64_t nextArrivalCycle() const;
 
     /** True when nothing is in flight and nothing is parked. */
     bool idle() const;
@@ -160,6 +171,9 @@ class MemorySystem
 
     /** Per-bank last service cycle (bank-conflict extension). */
     std::vector<std::uint64_t> bankBusyUntil;
+
+    /** Per-tick arrival scratch (member to keep its capacity). */
+    std::vector<Transaction> arrivalScratch;
 
     MemoryStats _stats;
 };

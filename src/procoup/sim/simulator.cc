@@ -1,6 +1,7 @@
 #include "procoup/sim/simulator.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "procoup/config/validate.hh"
 #include "procoup/sim/alu.hh"
@@ -13,6 +14,13 @@ namespace sim {
 using isa::Opcode;
 using isa::Operation;
 using isa::Value;
+
+namespace {
+
+constexpr std::uint64_t neverCycle =
+    std::numeric_limits<std::uint64_t>::max();
+
+} // namespace
 
 Simulator::Simulator(const config::MachineConfig& machine,
                      const isa::Program& program)
@@ -35,19 +43,49 @@ Simulator::Simulator(const config::MachineConfig& machine,
     _stats.stallsByCluster.assign(machine.clusters.size(),
                                   StallCounts{});
     rrLastThread.assign(fus.size(), -1);
+    fuStallScratch.assign(fus.size(), FuStall{});
+
+    // Completion wheel: one bucket per reachable completion distance.
+    int max_latency = 1;
+    for (const auto& f : fus)
+        max_latency = std::max(max_latency, f.latency);
+    wheel.assign(static_cast<std::size_t>(max_latency) + 1, {});
+
+    // Slot index (validateProgram guarantees fu < numFus and at most
+    // one operation per (row, fu)).
+    const std::size_t nf = fus.size();
+    slotIndex.resize(this->program.threads.size());
+    for (std::size_t c = 0; c < this->program.threads.size(); ++c) {
+        const auto& code = this->program.threads[c];
+        auto& idx = slotIndex[c];
+        idx.assign(code.instructions.size() * nf, -1);
+        for (std::size_t row = 0; row < code.instructions.size();
+             ++row) {
+            const auto& slots = code.instructions[row].slots;
+            for (std::size_t s = 0; s < slots.size(); ++s)
+                idx[row * nf + slots[s].fu] =
+                    static_cast<std::int16_t>(s);
+        }
+    }
+
+    // Operation caches mutate hit/miss statistics on every probe, and
+    // idle swap-out watches the wall clock: both give "nothing
+    // happened" cycles side effects, so they disqualify fast-forward.
+    ffMachineOk = !opCaches.enabled() &&
+                  !(machine.swapOutIdleCycles > 0 &&
+                    machine.maxActiveThreads > 0);
 
     mem = std::make_unique<MemorySystem>(machine.memory,
                                          program.memorySize,
                                          program.memInits);
 
-    spawnThread(program.entry, {});
+    spawnThread(this->program.entry, {});
 }
 
 Simulator::~Simulator() = default;
 
 void
-Simulator::spawnThread(std::uint32_t fork_target,
-                       const std::vector<isa::Value>& args)
+Simulator::spawnThread(std::uint32_t fork_target, const ValueList& args)
 {
     const auto& code = program.threads.at(fork_target);
     const int id = static_cast<int>(threads.size());
@@ -59,9 +97,10 @@ Simulator::spawnThread(std::uint32_t fork_target,
         t->regs().deposit(code.paramHomes[i], args[i]);
     if (t->state() == ThreadState::Active)
         activeList.push_back(id);
-    trace(TraceEvent::Kind::Spawn, id, -1, code.name);
+    trace(TraceEvent::Kind::Spawn, id, -1, [&] { return code.name; });
     threads.push_back(std::move(t));
     threadStalls.push_back(StallCounts{});
+    wbByThread.emplace_back();
     ++_stats.threadsSpawned;
     progressThisCycle = true;
 }
@@ -87,11 +126,10 @@ Simulator::operandsReady(const ThreadContext& t, const Operation& op) const
     return true;
 }
 
-std::vector<Value>
+ValueList
 Simulator::readSources(const ThreadContext& t, const Operation& op) const
 {
-    std::vector<Value> vals;
-    vals.reserve(op.srcs.size());
+    ValueList vals;
     for (const auto& src : op.srcs)
         vals.push_back(src.isReg() ? t.regs().read(src.reg())
                                    : src.imm());
@@ -99,11 +137,9 @@ Simulator::readSources(const ThreadContext& t, const Operation& op) const
 }
 
 void
-Simulator::trace(TraceEvent::Kind kind, int thread, int fu,
-                 std::string detail)
+Simulator::emitTrace(TraceEvent::Kind kind, int thread, int fu,
+                     std::string detail)
 {
-    if (!tracer)
-        return;
     TraceEvent e;
     e.kind = kind;
     e.cycle = _cycle;
@@ -133,6 +169,18 @@ Simulator::noteFuCycle(int fu, int thread, StallCause cause)
     }
 }
 
+void
+Simulator::chargeFuStallSpan(int fu, int thread, StallCause cause,
+                             std::uint64_t span)
+{
+    const int k = static_cast<int>(cause);
+    _stats.stallsByFu[fu][k] += span;
+    _stats.stallsByCluster[fus[fu].cluster][k] += span;
+    _stats.stallsTotal[k] += span;
+    if (thread >= 0)
+        threadStalls[thread][k] += span;
+}
+
 StallCause
 Simulator::classifyOperandStall(const ThreadContext& t,
                                 const Operation& op) const
@@ -160,9 +208,10 @@ Simulator::classifyOperandStall(const ThreadContext& t,
 
     // Where is the outstanding write? Produced but stuck in writeback
     // arbitration beats "still being produced": the value exists, only
-    // the interconnect withholds it.
-    for (const auto& e : wbQueue)
-        if (e.thread == t.id() && e.dst == *blocker)
+    // the interconnect withholds it. Only the thread's own queue can
+    // hold a write to its register.
+    for (const auto& e : wbByThread[static_cast<std::size_t>(t.id())])
+        if (e.dst == *blocker)
             return StallCause::WritebackConflict;
     if (mem->hasPendingWrite(t.id(), *blocker))
         return StallCause::MemoryBusy;
@@ -177,7 +226,7 @@ Simulator::executeIssue(const IssueDecision& d)
     const Operation& op = slot.op;
     const FuState& fu = fus[d.fu];
 
-    const std::vector<Value> srcs = readSources(t, op);
+    const ValueList srcs = readSources(t, op);
 
     // Issue clears the destination presence bits.
     for (const auto& dst : op.dsts)
@@ -235,17 +284,22 @@ Simulator::executeIssue(const IssueDecision& d)
         // Register-writing ALU operation: result flows down the
         // pipeline and is written back after the unit latency.
         InFlightResult r;
-        r.completeCycle = _cycle + fu.latency;
         r.thread = t.id();
         r.srcCluster = fu.cluster;
-        r.dsts = op.dsts;
+        r.dsts = RegList(op.dsts.begin(), op.dsts.end());
         r.value = evalAlu(op.opcode, srcs);
-        inFlight.push_back(std::move(r));
+        // Latency 0 behaves as 1: results were only ever collected at
+        // the top of the *next* cycle.
+        const int lat = fu.latency < 1 ? 1 : fu.latency;
+        wheel[(_cycle + static_cast<std::uint64_t>(lat)) %
+              wheel.size()].push_back(std::move(r));
+        ++inFlightCount;
         break;
       }
     }
 
-    trace(TraceEvent::Kind::Issue, t.id(), d.fu, op.toString());
+    trace(TraceEvent::Kind::Issue, t.id(), d.fu,
+          [&] { return op.toString(); });
 
     t.markIssued(d.slot);
     t.noteIssue(_cycle);
@@ -257,102 +311,86 @@ Simulator::executeIssue(const IssueDecision& d)
 }
 
 void
+Simulator::enqueueWriteback(int thread, const isa::RegRef& dst,
+                            const isa::Value& value, int src_cluster)
+{
+    wbByThread[static_cast<std::size_t>(thread)].push_back(
+        {dst, value, src_cluster});
+    ++wbCount;
+}
+
+void
 Simulator::doWriteback()
 {
-    // Priority: thread id (spawn order), then enqueue order.
-    std::stable_sort(wbQueue.begin(), wbQueue.end(),
-                     [](const WbEntry& a, const WbEntry& b) {
-                         if (a.thread != b.thread)
-                             return a.thread < b.thread;
-                         return a.seq < b.seq;
-                     });
+    if (wbCount == 0)
+        return;
 
-    std::deque<WbEntry> still_waiting;
-    for (auto& e : wbQueue) {
-        if (network.tryGrant(e.srcCluster, e.dst.cluster)) {
-            threads[e.thread]->regs().write(e.dst, e.value);
-            trace(TraceEvent::Kind::Writeback, e.thread, -1,
-                  strCat(e.dst.toString(), " <- ",
-                         e.value.toString()));
-            ++_stats.writebacks;
-            if (e.srcCluster != e.dst.cluster)
-                ++_stats.remoteWrites;
-            progressThisCycle = true;
-        } else {
-            still_waiting.push_back(std::move(e));
+    // Priority: thread id (spawn order), then enqueue order — the
+    // queues are per-thread FIFOs, so draining them in thread order
+    // visits entries exactly as the old global (thread, age) sort did.
+    for (std::size_t th = 0; th < wbByThread.size(); ++th) {
+        auto& q = wbByThread[th];
+        if (q.empty())
+            continue;
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            WbEntry& e = q[i];
+            if (network.tryGrant(e.srcCluster, e.dst.cluster)) {
+                threads[th]->regs().write(e.dst, e.value);
+                trace(TraceEvent::Kind::Writeback,
+                      static_cast<int>(th), -1, [&] {
+                          return strCat(e.dst.toString(), " <- ",
+                                        e.value.toString());
+                      });
+                ++_stats.writebacks;
+                if (e.srcCluster != e.dst.cluster)
+                    ++_stats.remoteWrites;
+                progressThisCycle = true;
+                --wbCount;
+            } else {
+                if (keep != i)
+                    q[keep] = std::move(e);
+                ++keep;
+            }
         }
+        q.resize(keep);
     }
-    _stats.writebackStallCycles += still_waiting.size();
-    wbQueue = std::move(still_waiting);
+    _stats.writebackStallCycles += wbCount;
 }
 
 bool
 Simulator::finished() const
 {
-    return activeList.empty() && suspended.empty() &&
-           wbQueue.empty() && inFlight.empty() && mem->idle() &&
+    return activeList.empty() && suspended.empty() && wbCount == 0 &&
+           inFlightCount == 0 && mem->idle() &&
            pendingSpawns.empty() && waitingForSlot.empty();
 }
 
-bool
-Simulator::step()
+void
+Simulator::selectAndIssue()
 {
-    if (finished())
-        return false;
+    decisionScratch.clear();
+    const std::size_t nf = fus.size();
+    const std::size_t n = activeList.size();
 
-    progressThisCycle = false;
-    network.beginCycle();
-
-    // 1. Memory arrivals: completed loads join the writeback queue.
-    for (auto& cl : mem->tick(_cycle)) {
-        trace(TraceEvent::Kind::MemComplete, cl.thread, -1,
-              strCat("load -> ", cl.value.toString()));
-        for (const auto& dst : cl.dsts) {
-            WbEntry e;
-            e.thread = cl.thread;
-            e.dst = dst;
-            e.value = cl.value;
-            e.srcCluster = cl.srcCluster;
-            e.seq = wbSeq++;
-            wbQueue.push_back(std::move(e));
-        }
-        progressThisCycle = true;
+    // One probe row per active thread, resolved once per cycle: the
+    // instruction pointer cannot move during the issue phase.
+    rowScratch.clear();
+    for (int ti : activeList) {
+        ThreadContext& t = *threads[ti];
+        IssueRow row;
+        row.t = &t;
+        row.inst = &t.currentInstruction();
+        row.slots = slotIndex[t.codeIndex()].data() + t.ip() * nf;
+        rowScratch.push_back(row);
     }
 
-    // 2. Function-unit pipeline completions.
-    for (auto it = inFlight.begin(); it != inFlight.end();) {
-        if (it->completeCycle <= _cycle) {
-            for (const auto& dst : it->dsts) {
-                WbEntry e;
-                e.thread = it->thread;
-                e.dst = dst;
-                e.value = it->value;
-                e.srcCluster = it->srcCluster;
-                e.seq = wbSeq++;
-                wbQueue.push_back(std::move(e));
-            }
-            it = inFlight.erase(it);
-            progressThisCycle = true;
-        } else {
-            ++it;
-        }
-    }
-
-    // 3. Writeback arbitration over the unit interconnection network.
-    doWriteback();
-
-    // 4. Issue: each function unit independently selects one ready
-    //    pending operation. Selection uses a frozen view of the
-    //    presence bits (all issue decisions are simultaneous); the
-    //    effects are applied afterwards.
-    std::vector<IssueDecision> decisions;
     const bool round_robin =
         machine.arbitration == config::ArbitrationPolicy::RoundRobin;
-    for (std::size_t fu = 0; fu < fus.size(); ++fu) {
+    for (std::size_t fu = 0; fu < nf; ++fu) {
         // Threads are scanned in priority (spawn) order — activeList
         // is maintained sorted by thread id — or, under round-robin,
         // starting just past the unit's last-served thread.
-        const std::size_t n = activeList.size();
         std::size_t start = 0;
         if (round_robin && n > 0) {
             while (start < n &&
@@ -369,54 +407,114 @@ Simulator::step()
         int blockedThread = -1;
         StallCause blockedCause = StallCause::NoReadyOp;
         for (std::size_t k = 0; k < n && !taken; ++k) {
-            const int ti = activeList[(start + k) % n];
-            ThreadContext& t = *threads[ti];
-            const auto& inst = t.currentInstruction();
-            for (std::size_t s = 0; s < inst.slots.size(); ++s) {
-                if (inst.slots[s].fu != fu || t.slotIssued(s))
-                    continue;
-                // Operand check first: fetching a line for an
-                // operation that cannot issue anyway would evict
-                // lines other threads are about to use.
-                const bool ready = operandsReady(t, inst.slots[s].op);
-                if (ready &&
-                    opCaches.present(static_cast<int>(fu),
-                                     t.codeIndex(),
-                                     static_cast<std::uint32_t>(
-                                         t.ip()),
-                                     _cycle)) {
-                    decisions.push_back({static_cast<int>(fu),
-                                         static_cast<int>(ti), s});
-                    taken = true;
-                    rrLastThread[fu] = ti;
-                } else if (blockedThread < 0) {
-                    blockedThread = ti;
-                    blockedCause =
-                        ready ? StallCause::OpcacheMiss
-                              : classifyOperandStall(
-                                    t, inst.slots[s].op);
-                }
-                break;  // at most one op per (thread, fu) per row
+            std::size_t pos = start + k;
+            if (pos >= n)
+                pos -= n;
+            const std::int16_t s = rowScratch[pos].slots[fu];
+            if (s < 0)
+                continue;
+            ThreadContext& t = *rowScratch[pos].t;
+            if (t.slotIssued(static_cast<std::size_t>(s)))
+                continue;
+            const Operation& op =
+                rowScratch[pos].inst->slots[static_cast<std::size_t>(s)]
+                    .op;
+            // Operand check first: fetching a line for an operation
+            // that cannot issue anyway would evict lines other
+            // threads are about to use.
+            const bool ready = operandsReady(t, op);
+            if (ready &&
+                opCaches.present(static_cast<int>(fu), t.codeIndex(),
+                                 static_cast<std::uint32_t>(t.ip()),
+                                 _cycle)) {
+                decisionScratch.push_back(
+                    {static_cast<int>(fu), t.id(),
+                     static_cast<std::size_t>(s)});
+                taken = true;
+                rrLastThread[fu] = t.id();
+            } else if (blockedThread < 0) {
+                blockedThread = t.id();
+                blockedCause = ready ? StallCause::OpcacheMiss
+                                     : classifyOperandStall(t, op);
             }
         }
         if (!taken) {
-            if (n == 0)
+            if (n == 0) {
+                fuStallScratch[fu] = {-1, StallCause::IdleNoThread};
                 noteFuCycle(static_cast<int>(fu), -1,
                             StallCause::IdleNoThread);
-            else
+            } else {
+                fuStallScratch[fu] = {blockedThread, blockedCause};
                 noteFuCycle(static_cast<int>(fu), blockedThread,
                             blockedCause);
+            }
         }
     }
-    for (const auto& d : decisions)
+    for (const auto& d : decisionScratch)
         executeIssue(d);
+}
+
+bool
+Simulator::step()
+{
+    if (finished())
+        return false;
+
+    progressThisCycle = false;
+    network.beginCycle();
+
+    // 1. Memory arrivals: completed loads join the writeback queue.
+    memDoneScratch.clear();
+    mem->tick(_cycle, memDoneScratch);
+    for (const auto& cl : memDoneScratch) {
+        trace(TraceEvent::Kind::MemComplete, cl.thread, -1, [&] {
+            return strCat("load -> ", cl.value.toString());
+        });
+        for (const auto& dst : cl.dsts)
+            enqueueWriteback(cl.thread, dst, cl.value, cl.srcCluster);
+        progressThisCycle = true;
+    }
+
+    // 2. Function-unit pipeline completions: everything in this
+    //    cycle's wheel bucket is due now.
+    {
+        auto& bucket = wheel[_cycle % wheel.size()];
+        for (const auto& r : bucket) {
+            for (const auto& dst : r.dsts)
+                enqueueWriteback(r.thread, dst, r.value, r.srcCluster);
+            progressThisCycle = true;
+        }
+        inFlightCount -= bucket.size();
+        bucket.clear();
+    }
+
+    // 3. Writeback arbitration over the unit interconnection network.
+    doWriteback();
+
+    // 4. Issue: each function unit independently selects one ready
+    //    pending operation. Selection uses a frozen view of the
+    //    presence bits (all issue decisions are simultaneous); the
+    //    effects are applied afterwards.
+    selectAndIssue();
+
+    // Fast-forward candidacy must be judged before threads advance:
+    // a fully issued window can hold a branch/end timer that fires in
+    // a later cycle without any visible event, so such threads bar
+    // skipping. (Snapshot is exact: nothing issued this cycle.)
+    bool thread_timer_pending = false;
+    if (ffMachineOk && !tracer && !progressThisCycle)
+        for (int ti : activeList)
+            if (threads[ti]->allSlotsIssued()) {
+                thread_timer_pending = true;
+                break;
+            }
 
     // 5. End of cycle: retire/advance threads, activate spawns.
     bool freed_slot = false;
     for (int ti : activeList) {
         if (threads[ti]->endOfCycle(_cycle)) {
             trace(TraceEvent::Kind::Retire, ti, -1,
-                  threads[ti]->code().name);
+                  [&] { return threads[ti]->code().name; });
             progressThisCycle = true;
             freed_slot = true;
         }
@@ -428,19 +526,24 @@ Simulator::step()
         manageActiveSet();
     // A FORK issued at cycle t with unit latency L yields a child able
     // to issue from cycle t + L; spawning at the end of cycle t + L - 1
-    // achieves that.
-    for (auto it = pendingSpawns.begin(); it != pendingSpawns.end();) {
-        if (it->readyCycle > _cycle + 1) {
-            ++it;
-            continue;
+    // achieves that. Single stable compaction pass: spawned/parked
+    // entries drop out, unripe ones slide forward in order.
+    {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < pendingSpawns.size(); ++i) {
+            PendingSpawn& ps = pendingSpawns[i];
+            if (ps.readyCycle > _cycle + 1) {
+                if (keep != i)
+                    pendingSpawns[keep] = std::move(ps);
+                ++keep;
+            } else if (machine.maxActiveThreads > 0 &&
+                       activeThreads() >= machine.maxActiveThreads) {
+                waitingForSlot.push_back(std::move(ps));
+            } else {
+                spawnThread(ps.forkTarget, ps.args);
+            }
         }
-        if (machine.maxActiveThreads > 0 &&
-                activeThreads() >= machine.maxActiveThreads) {
-            waitingForSlot.push_back(std::move(*it));
-        } else {
-            spawnThread(it->forkTarget, it->args);
-        }
-        it = pendingSpawns.erase(it);
+        pendingSpawns.resize(keep);
     }
 
     manageActiveSet();
@@ -448,11 +551,66 @@ Simulator::step()
     _stats.peakActiveThreads =
         std::max(_stats.peakActiveThreads, activeThreads());
 
+    if (ffMachineOk && !tracer && !progressThisCycle &&
+        !thread_timer_pending && wbCount == 0 && !finished())
+        fastForwardQuiescentSpan();
+
     ++_cycle;
     if (progressThisCycle)
         lastProgressCycle = _cycle;
     checkDeadlock();
     return true;
+}
+
+void
+Simulator::fastForwardQuiescentSpan()
+{
+    // Next cycle anything is scheduled to happen: a pipeline result
+    // completes, a memory transaction arrives, or a pending FORK
+    // activates (at readyCycle - 1, see step()). Parked memory
+    // references only move on arrivals, threads cannot advance
+    // (checked by the caller), and every unit's stall classification
+    // is frozen until one of these events lands.
+    std::uint64_t next = neverCycle;
+    if (inFlightCount > 0) {
+        const std::size_t w = wheel.size();
+        for (std::size_t d = 1; d <= w; ++d) {
+            if (!wheel[(_cycle + d) % w].empty()) {
+                next = _cycle + d;
+                break;
+            }
+        }
+    }
+    next = std::min(next, mem->nextArrivalCycle());
+    for (const auto& ps : pendingSpawns)
+        next = std::min(next, ps.readyCycle - 1);
+
+    // Never skip past the deadlock detector: cycle-by-cycle stepping
+    // reports at lastProgressCycle + limit + 1, after charging stalls
+    // through lastProgressCycle + limit.
+    const std::uint64_t horizon =
+        lastProgressCycle +
+        static_cast<std::uint64_t>(machine.deadlockCycleLimit);
+    bool deadlocked = false;
+    if (next > horizon) {
+        next = horizon + 1;
+        deadlocked = true;
+    }
+
+    if (next > _cycle + 1) {
+        // Skip cycles _cycle+1 .. next-1; each one would have charged
+        // every unit to the same (thread, cause) as this cycle did.
+        const std::uint64_t span = next - 1 - _cycle;
+        for (std::size_t fu = 0; fu < fus.size(); ++fu)
+            chargeFuStallSpan(static_cast<int>(fu),
+                              fuStallScratch[fu].thread,
+                              fuStallScratch[fu].cause, span);
+        _cycle = next - 1;
+    }
+    if (deadlocked) {
+        _cycle = next;
+        reportDeadlock();
+    }
 }
 
 void
@@ -464,16 +622,22 @@ Simulator::manageActiveSet()
         return machine.maxActiveThreads == 0 ||
                activeThreads() < machine.maxActiveThreads;
     };
+    bool resumed = false;
     while (has_slot() && !suspended.empty()) {
         const int ti = suspended.front();
         suspended.pop_front();
         threads[ti]->noteIssue(_cycle);  // fresh idle clock
         activeList.push_back(ti);
-        std::sort(activeList.begin(), activeList.end());
-        trace(TraceEvent::Kind::Spawn, ti, -1,
-              strCat(threads[ti]->code().name, " (resumed)"));
+        resumed = true;
+        trace(TraceEvent::Kind::Spawn, ti, -1, [&] {
+            return strCat(threads[ti]->code().name, " (resumed)");
+        });
         progressThisCycle = true;
     }
+    // Restore priority order once, after the drain: nothing inside
+    // the loop depends on activeList being sorted.
+    if (resumed)
+        std::sort(activeList.begin(), activeList.end());
     while (has_slot() && !waitingForSlot.empty()) {
         PendingSpawn ps = std::move(waitingForSlot.front());
         waitingForSlot.pop_front();
@@ -495,8 +659,9 @@ Simulator::manageActiveSet()
             _cycle - t.lastIssueCycle() >
             static_cast<std::uint64_t>(machine.swapOutIdleCycles);
         if (idle) {
-            trace(TraceEvent::Kind::Retire, *it, -1,
-                  strCat(t.code().name, " (swapped out)"));
+            trace(TraceEvent::Kind::Retire, *it, -1, [&] {
+                return strCat(t.code().name, " (swapped out)");
+            });
             suspended.push_back(*it);
             it = activeList.erase(it);
             progressThisCycle = true;

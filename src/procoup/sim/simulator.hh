@@ -19,6 +19,15 @@
  *
  * The simulator is functional (exact values) but cycle-accurate in the
  * paper's sense: it counts cycles, operations, and unit utilization.
+ *
+ * The per-cycle hot path avoids both scanning and allocation (see
+ * docs/INTERNALS.md, "Simulator hot path"): issue selection probes a
+ * per-instruction slot index instead of rescanning instruction rows,
+ * pipeline completions sit in a latency-bucketed wheel, writebacks
+ * live in per-thread FIFO queues (no per-cycle sort), and spans of
+ * quiescent cycles — every unit stalled, only memory or pipeline
+ * timers pending — are fast-forwarded in one step with their stall
+ * accounting bulk-charged.
  */
 
 #include <cstdint>
@@ -34,9 +43,18 @@
 #include "procoup/sim/stats.hh"
 #include "procoup/sim/thread.hh"
 #include "procoup/sim/trace.hh"
+#include "procoup/support/inline_vector.hh"
 
 namespace procoup {
 namespace sim {
+
+/** Resolved source values of one operation (inline up to FORK's max). */
+using ValueList = support::InlineVec<isa::Value, 4>;
+
+/** Destination registers of one operation (inline up to maxDests). */
+using RegList =
+    support::InlineVec<isa::RegRef,
+                       static_cast<std::size_t>(isa::Operation::maxDests)>;
 
 /** Executes one compiled program on one machine configuration. */
 class Simulator
@@ -57,6 +75,15 @@ class Simulator
     /**
      * Execute one cycle.
      * @return false when the machine is quiescent (nothing ran)
+     *
+     * When the cycle ends with every unit stalled and only timed
+     * events (memory arrivals, pipeline completions, FORK activation)
+     * pending, the clock jumps straight to the next event; the
+     * skipped cycles are charged to the same stall buckets cycle-by-
+     * cycle stepping would have produced. Statistics are bit-identical
+     * either way. Fast-forward disables itself under a tracer and
+     * under configurations whose per-cycle bookkeeping has side
+     * effects (operation caches, idle swap-out).
      */
     bool step();
 
@@ -91,24 +118,24 @@ class Simulator
         int latency = 1;
     };
 
-    /** An ALU result travelling down a function-unit pipeline. */
+    /** An ALU result travelling down a function-unit pipeline. The
+     *  completion cycle is implied by its wheel bucket. */
     struct InFlightResult
     {
-        std::uint64_t completeCycle = 0;
         int thread = 0;
         int srcCluster = 0;
-        std::vector<isa::RegRef> dsts;
+        RegList dsts;
         isa::Value value;
     };
 
-    /** A register write waiting for interconnect resources. */
+    /** A register write waiting for interconnect resources. The
+     *  owning thread is implied by its per-thread queue; FIFO order
+     *  within the queue replaces the old age sequence number. */
     struct WbEntry
     {
-        int thread = 0;
         isa::RegRef dst;
         isa::Value value;
         int srcCluster = 0;
-        std::uint64_t seq = 0;       ///< age for FIFO tie-breaking
     };
 
     /** A FORK waiting for its activation cycle (and a free slot). */
@@ -116,7 +143,7 @@ class Simulator
     {
         std::uint64_t readyCycle = 0;
         std::uint32_t forkTarget = 0;
-        std::vector<isa::Value> args;
+        ValueList args;
     };
 
     /** An issue decision made in the selection pass. */
@@ -127,14 +154,40 @@ class Simulator
         std::size_t slot = 0;
     };
 
-    void spawnThread(std::uint32_t fork_target,
-                     const std::vector<isa::Value>& args);
+    /** Per-cycle issue-scan view of one active thread. */
+    struct IssueRow
+    {
+        ThreadContext* t = nullptr;
+        const isa::Instruction* inst = nullptr;
+        /** This thread's slot-index row: slot per fu, or -1. */
+        const std::int16_t* slots = nullptr;
+    };
+
+    /** The (thread, cause) a unit's stalled cycle was charged to;
+     *  reused by fast-forward to charge whole quiescent spans. */
+    struct FuStall
+    {
+        int thread = -1;
+        StallCause cause = StallCause::IdleNoThread;
+    };
+
+    void spawnThread(std::uint32_t fork_target, const ValueList& args);
     bool operandsReady(const ThreadContext& t,
                        const isa::Operation& op) const;
-    std::vector<isa::Value> readSources(const ThreadContext& t,
-                                        const isa::Operation& op) const;
+    ValueList readSources(const ThreadContext& t,
+                          const isa::Operation& op) const;
+
+    /** Emit a trace event; @p detail is only rendered when a tracer
+     *  is installed (formatting is off the hot path). */
+    template <typename DetailFn>
     void trace(TraceEvent::Kind kind, int thread, int fu,
-               std::string detail);
+               DetailFn&& detail)
+    {
+        if (tracer)
+            emitTrace(kind, thread, fu, detail());
+    }
+    void emitTrace(TraceEvent::Kind kind, int thread, int fu,
+                   std::string detail);
 
     /**
      * Charge function unit @p fu's slot for the current cycle to
@@ -145,6 +198,12 @@ class Simulator
      */
     void noteFuCycle(int fu, int thread, StallCause cause);
 
+    /** Bulk form of noteFuCycle for a fast-forwarded span of @p span
+     *  identically-stalled cycles (no trace events: fast-forward is
+     *  disabled under a tracer). */
+    void chargeFuStallSpan(int fu, int thread, StallCause cause,
+                           std::uint64_t span);
+
     /**
      * Why can't @p op of thread @p t issue? Distinguishes an operand
      * stuck in the writeback queue (port conflict), one still owed by
@@ -153,9 +212,26 @@ class Simulator
     StallCause classifyOperandStall(const ThreadContext& t,
                                     const isa::Operation& op) const;
 
+    /** Phase 4: per-unit selection over the slot index, stall
+     *  attribution, then application of the issue decisions. */
+    void selectAndIssue();
+
+    void enqueueWriteback(int thread, const isa::RegRef& dst,
+                          const isa::Value& value, int src_cluster);
+
     void executeIssue(const IssueDecision& d);
     void doWriteback();
     void manageActiveSet();
+
+    /**
+     * The cycle ended with no progress, an empty writeback queue, and
+     * no thread able to advance: jump to the cycle before the next
+     * timed event, bulk-charging each unit's current stall cause for
+     * the skipped span. Reports deadlock at exactly the cycle
+     * cycle-by-cycle stepping would have.
+     */
+    void fastForwardQuiescentSpan();
+
     void checkDeadlock();
     [[noreturn]] void reportDeadlock();
 
@@ -169,6 +245,15 @@ class Simulator
     /** Per-unit last-served thread id (round-robin arbitration). */
     std::vector<int> rrLastThread;
 
+    /**
+     * Slot index, built at bind time: for thread function c,
+     * slotIndex[c][row * numFus + fu] is the position in
+     * instructions[row].slots of the operation bound to unit fu, or
+     * -1. Each unit probes one entry per thread instead of rescanning
+     * the row's slot list (at most one operation per (row, fu)).
+     */
+    std::vector<std::vector<std::int16_t>> slotIndex;
+
     std::unique_ptr<MemorySystem> mem;
     WritebackNetwork network;
     OpCaches opCaches;
@@ -178,25 +263,49 @@ class Simulator
     /** Ids of Active threads, ascending (scan order = priority). */
     std::vector<int> activeList;
 
-    std::deque<PendingSpawn> pendingSpawns;
+    std::vector<PendingSpawn> pendingSpawns;
     std::deque<PendingSpawn> waitingForSlot;  ///< maxActiveThreads queue
 
     /** Threads suspended by idle swap-out, FIFO resume order. */
     std::deque<int> suspended;
 
-    std::vector<InFlightResult> inFlight;
-    std::deque<WbEntry> wbQueue;
-    std::uint64_t wbSeq = 0;
+    /**
+     * Completion wheel: bucket (cycle % wheel.size()) holds the
+     * results completing at that cycle. Sized to the maximum unit
+     * latency + 1, so an in-flight result never wraps onto a bucket
+     * that drains before it is due.
+     */
+    std::vector<std::vector<InFlightResult>> wheel;
+    std::size_t inFlightCount = 0;
+
+    /**
+     * Writeback queues, one per thread id, FIFO. Draining them in
+     * thread-id order reproduces the old global (thread, age) sort
+     * without sorting: entries are appended in age order and denied
+     * entries are retained in place.
+     */
+    std::vector<std::vector<WbEntry>> wbByThread;
+    std::size_t wbCount = 0;
 
     std::uint64_t _cycle = 0;
     std::uint64_t lastProgressCycle = 0;
     bool progressThisCycle = false;
+
+    /** Machine-level fast-forward eligibility (bind-time constant):
+     *  no per-cycle side effects from op caches or idle swap-out. */
+    bool ffMachineOk = false;
 
     TraceFn tracer;
     bool traceStalls = false;
 
     /** Per-thread stall attribution, indexed by thread id. */
     std::vector<StallCounts> threadStalls;
+
+    /** Per-cycle scratch (members to keep their capacity). */
+    std::vector<CompletedLoad> memDoneScratch;
+    std::vector<IssueDecision> decisionScratch;
+    std::vector<IssueRow> rowScratch;
+    std::vector<FuStall> fuStallScratch;
 
     RunStats _stats;
 };

@@ -1,0 +1,218 @@
+#ifndef PROCOUP_SUPPORT_INLINE_VECTOR_HH
+#define PROCOUP_SUPPORT_INLINE_VECTOR_HH
+
+/**
+ * @file
+ * Small-buffer vector.
+ *
+ * The simulator's per-cycle hot path traffics in tiny arrays with
+ * hard, architectural size bounds: an operation has at most three
+ * sources, at most isa::Operation::maxDests (two) destinations, a FORK
+ * carries at most three arguments. Holding them in std::vector puts a
+ * heap allocation on every issue, every in-flight result, and every
+ * load — millions per run. InlineVec keeps up to N elements in the
+ * object itself and only touches the heap in the (never-in-practice)
+ * overflow case, which it still handles correctly rather than
+ * asserting — program representations are user input.
+ *
+ * Deliberately minimal: the subset of the std::vector interface the
+ * simulator uses, value semantics included. Elements must be
+ * movable; growth gives amortized O(1) push_back.
+ */
+
+#include <cstddef>
+#include <initializer_list>
+#include <new>
+#include <utility>
+
+namespace procoup {
+namespace support {
+
+/** A vector storing up to N elements inline before spilling to heap. */
+template <typename T, std::size_t N>
+class InlineVec
+{
+    static_assert(N > 0, "inline capacity must be positive");
+
+  public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+
+    InlineVec() = default;
+
+    InlineVec(std::initializer_list<T> init)
+    {
+        reserve(init.size());
+        for (const T& v : init)
+            push_back(v);
+    }
+
+    template <typename InputIt>
+    InlineVec(InputIt first, InputIt last)
+    {
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+    InlineVec(const InlineVec& o) { appendAll(o.begin(), o.size_); }
+
+    InlineVec(InlineVec&& o) noexcept { stealOrMove(std::move(o)); }
+
+    InlineVec& operator=(const InlineVec& o)
+    {
+        if (this != &o) {
+            clear();
+            appendAll(o.begin(), o.size_);
+        }
+        return *this;
+    }
+
+    InlineVec& operator=(InlineVec&& o) noexcept
+    {
+        if (this != &o) {
+            destroyAll();
+            stealOrMove(std::move(o));
+        }
+        return *this;
+    }
+
+    ~InlineVec() { destroyAll(); }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return cap_; }
+    bool onHeap() const { return data_ != inlineData(); }
+
+    T* data() { return data_; }
+    const T* data() const { return data_; }
+
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+
+    T& front() { return data_[0]; }
+    const T& front() const { return data_[0]; }
+    T& back() { return data_[size_ - 1]; }
+    const T& back() const { return data_[size_ - 1]; }
+
+    void reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    void push_back(const T& v) { emplace_back(v); }
+    void push_back(T&& v) { emplace_back(std::move(v)); }
+
+    template <typename... Args>
+    T& emplace_back(Args&&... args)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        T* p = new (data_ + size_) T(std::forward<Args>(args)...);
+        ++size_;
+        return *p;
+    }
+
+    void pop_back()
+    {
+        --size_;
+        data_[size_].~T();
+    }
+
+    void clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            data_[i].~T();
+        size_ = 0;
+    }
+
+    bool operator==(const InlineVec& o) const
+    {
+        if (size_ != o.size_)
+            return false;
+        for (std::size_t i = 0; i < size_; ++i)
+            if (!(data_[i] == o.data_[i]))
+                return false;
+        return true;
+    }
+
+  private:
+    T* inlineData() { return reinterpret_cast<T*>(inline_); }
+    const T* inlineData() const
+    {
+        return reinterpret_cast<const T*>(inline_);
+    }
+
+    void appendAll(const T* src, std::size_t n)
+    {
+        reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            new (data_ + i) T(src[i]);
+        size_ = n;
+    }
+
+    /** Take over @p o's state; *this must hold no live elements. */
+    void stealOrMove(InlineVec&& o) noexcept
+    {
+        if (o.onHeap()) {
+            data_ = o.data_;
+            cap_ = o.cap_;
+            size_ = o.size_;
+            o.data_ = o.inlineData();
+            o.cap_ = N;
+            o.size_ = 0;
+        } else {
+            data_ = inlineData();
+            cap_ = N;
+            size_ = o.size_;
+            for (std::size_t i = 0; i < size_; ++i) {
+                new (data_ + i) T(std::move(o.data_[i]));
+                o.data_[i].~T();
+            }
+            o.size_ = 0;
+        }
+    }
+
+    /** Release heap storage and destroy elements (leaves members
+     *  stale; only for the destructor / move-assign prologue). */
+    void destroyAll() noexcept
+    {
+        clear();
+        if (onHeap())
+            ::operator delete(data_);
+        data_ = inlineData();
+        cap_ = N;
+    }
+
+    void grow(std::size_t want)
+    {
+        std::size_t cap = cap_ < 1 ? 1 : cap_;
+        while (cap < want)
+            cap *= 2;
+        T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+        for (std::size_t i = 0; i < size_; ++i) {
+            new (fresh + i) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        if (onHeap())
+            ::operator delete(data_);
+        data_ = fresh;
+        cap_ = cap;
+    }
+
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    T* data_ = inlineData();
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+};
+
+} // namespace support
+} // namespace procoup
+
+#endif // PROCOUP_SUPPORT_INLINE_VECTOR_HH

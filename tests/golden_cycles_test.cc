@@ -36,6 +36,38 @@ TEST_P(GoldenCycles, BaselineCycleCountIsStable)
     EXPECT_EQ(run.stats.cycles, p.cycles);
 }
 
+/** Same workloads on a 100-cycle-hit memory system. Long quiescent
+ *  stretches between arrivals make this the configuration where the
+ *  simulator's fast-forward path does almost all of the work, so these
+ *  values pin its cycle accounting against the step-by-step path. */
+class GoldenCyclesHighMemLatency
+    : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenCyclesHighMemLatency, CycleCountIsStable)
+{
+    const auto& p = GetParam();
+    config::MachineConfig machine = config::baseline();
+    machine.memory.hitLatency = 100;
+    core::CoupledNode node(machine);
+    const auto run =
+        node.runBenchmark(benchmarks::byName(p.bench), p.mode);
+    EXPECT_EQ(run.stats.cycles, p.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HighMemLatency, GoldenCyclesHighMemLatency,
+    ::testing::Values(
+        Golden{"Matrix", SimMode::Seq, 74283},
+        Golden{"Matrix", SimMode::Coupled, 3826},
+        Golden{"FFT", SimMode::Coupled, 13613},
+        Golden{"LUD", SimMode::Coupled, 462959},
+        Golden{"Model", SimMode::Tpe, 39364},
+        Golden{"Model", SimMode::Coupled, 38880}),
+    [](const ::testing::TestParamInfo<Golden>& i) {
+        return std::string(i.param.bench) + "_" +
+               core::simModeName(i.param.mode);
+    });
+
 INSTANTIATE_TEST_SUITE_P(
     Table2, GoldenCycles,
     ::testing::Values(

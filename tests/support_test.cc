@@ -1,10 +1,16 @@
-/** @file Unit tests for the support module (RNG, strings, tables). */
+/** @file Unit tests for the support module (RNG, strings, tables,
+ *  inline vectors). */
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "procoup/support/error.hh"
+#include "procoup/support/inline_vector.hh"
 #include "procoup/support/rng.hh"
 #include "procoup/support/strings.hh"
 #include "procoup/support/table.hh"
@@ -118,6 +124,91 @@ TEST(TextTable, RendersAlignedColumns)
     EXPECT_NE(out.find("Matrix"), std::string::npos);
     // Header separator exists.
     EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(InlineVec, StaysInlineUpToCapacity)
+{
+    support::InlineVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i * 10);
+    EXPECT_FALSE(v.onHeap());
+    EXPECT_EQ(v.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[i], i * 10);
+    EXPECT_EQ(v.front(), 0);
+    EXPECT_EQ(v.back(), 30);
+}
+
+TEST(InlineVec, SpillsToHeapAndKeepsContents)
+{
+    support::InlineVec<std::string, 2> v;
+    for (int i = 0; i < 40; ++i)
+        v.push_back(strCat("elem-", i));
+    EXPECT_TRUE(v.onHeap());
+    EXPECT_EQ(v.size(), 40u);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(v[i], strCat("elem-", i));
+}
+
+TEST(InlineVec, CopyAndEquality)
+{
+    support::InlineVec<int, 2> a{1, 2, 3};  // spilled
+    support::InlineVec<int, 2> b = a;
+    EXPECT_EQ(a, b);
+    b.push_back(4);
+    EXPECT_FALSE(a == b);
+    a = b;
+    EXPECT_EQ(a.size(), 4u);
+    EXPECT_EQ(a[3], 4);
+}
+
+TEST(InlineVec, MoveStealsHeapAndMovesInline)
+{
+    support::InlineVec<std::unique_ptr<int>, 2> inl;
+    inl.push_back(std::make_unique<int>(7));
+    auto moved_inl = std::move(inl);
+    ASSERT_EQ(moved_inl.size(), 1u);
+    EXPECT_EQ(*moved_inl[0], 7);
+    EXPECT_TRUE(inl.empty());
+
+    support::InlineVec<std::unique_ptr<int>, 2> big;
+    for (int i = 0; i < 8; ++i)
+        big.push_back(std::make_unique<int>(i));
+    const int* stable = big[5].get();
+    auto moved_big = std::move(big);
+    EXPECT_TRUE(moved_big.onHeap());
+    EXPECT_EQ(moved_big[5].get(), stable);  // pointer stolen, not copied
+    EXPECT_TRUE(big.empty());
+
+    // Move-assign over live contents releases them.
+    moved_inl = std::move(moved_big);
+    ASSERT_EQ(moved_inl.size(), 8u);
+    EXPECT_EQ(*moved_inl[3], 3);
+}
+
+TEST(InlineVec, ClearReusesStorageAndIteratesInOrder)
+{
+    support::InlineVec<int, 4> v{5, 6, 7};
+    int sum = 0;
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 18);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(9);
+    EXPECT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 9);
+    v.pop_back();
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVec, IteratorRangeConstructor)
+{
+    const std::vector<int> src = {3, 1, 4, 1, 5};
+    support::InlineVec<int, 2> v(src.begin(), src.end());
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_EQ(v[4], 5);
 }
 
 TEST(Errors, CompileAndSimErrorsCarryMessages)
