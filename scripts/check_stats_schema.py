@@ -5,13 +5,24 @@ Runs the Table 2 baseline workloads (all four paper benchmarks) on the
 four paper machine configurations (baseline memory, min, Mem1, Mem2),
 asks pcsim for --stats-json, and checks:
 
-  * the output is valid JSON with schema "procoup-stats/1";
+  * the output is valid JSON with schema "procoup-stats/1" (or "/2"
+    when fault injection was on — then, and only then, a "faults"
+    block with every perturbation counter must be present and its
+    totalEvents must equal the sum of the event counters);
   * every required key is present with the right type/shape;
   * the stall-cause taxonomy matches the canonical seven causes;
   * the conservation invariant holds at every level:
         cycles * numFus == issued + sum(stalls)
     per FU, per cluster, and machine-wide;
   * per-thread opsIssued sums to the global operation count.
+
+Two additional runs exercise the robustness surface: a faulted run
+(--faults) must produce a consistent procoup-stats/2 document, and a
+budget-capped fail-safe run (--cycle-cap --fail-safe) must produce a
+structured error document with a valid kind/cycle/message record.
+With --bundle FILE, also validates a harness --stats-json bundle
+("procoup-stats-bundle/1" or "/2"): per-point stats entries get the
+full document check, error records the error-record check.
 
 Registered as a ctest (stats_schema_check) so `ctest -j` covers it.
 Documented in docs/INTERNALS.md ("Observability").
@@ -31,6 +42,32 @@ CAUSES = [
     "memory-bank-busy",
     "opcache-miss",
     "idle-no-thread",
+]
+
+FAULT_EVENT_KEYS = [
+    "memJitterEvents",
+    "memBurstEvents",
+    "bankStormEvents",
+    "fuBubbleEvents",
+    "opcacheFlushes",
+    "spawnDelayEvents",
+]
+FAULT_KEYS = FAULT_EVENT_KEYS + [
+    "memJitterCycles",
+    "memBurstAccesses",
+    "memBurstCycles",
+    "bankStormDelayCycles",
+    "fuBubbleCycles",
+    "spawnDelayCycles",
+    "totalEvents",
+]
+
+ERROR_KINDS = [
+    "runtime",
+    "deadlock",
+    "cycle-limit",
+    "wall-clock-deadline",
+    "invariant-violation",
 ]
 
 BENCHMARKS = ["Matrix", "FFT", "LUD", "Model"]
@@ -61,7 +98,41 @@ def expect_keys(label, obj, keys):
             )
 
 
+def validate_error_record(label, err):
+    """An "error" object: a fail-safe-captured simulation failure."""
+    expect_keys(label + ".error", err,
+                {"kind": str, "cycle": int, "message": str})
+    if "kind" in err:
+        check(err["kind"] in ERROR_KINDS, label,
+              f"unknown error kind '{err.get('kind')}'")
+    if "message" in err:
+        check(len(err["message"]) > 0, label, "empty error message")
+
+
+def validate_faults(label, doc):
+    """The "faults" block required by (and exclusive to) schema /2."""
+    faults = doc["faults"]
+    expect_keys(label + ".faults", faults,
+                {k: int for k in FAULT_KEYS})
+    if FAILURES:
+        return
+    total = sum(faults[k] for k in FAULT_EVENT_KEYS)
+    check(faults["totalEvents"] == total, label,
+          f"totalEvents {faults['totalEvents']} != event sum {total}")
+    check(faults["memJitterCycles"] >= faults["memJitterEvents"],
+          label, "jitter cycles < jitter events")
+    check(faults["fuBubbleCycles"] >= faults["fuBubbleEvents"],
+          label, "bubble cycles < bubble events")
+
+
 def validate(label, doc):
+    if "error" in doc:
+        # pcsim --fail-safe writes an error document, not run stats.
+        check(doc.get("schema") == "procoup-stats/2", label,
+              "error documents must be procoup-stats/2")
+        validate_error_record(label, doc["error"])
+        return
+
     expect_keys(
         label,
         doc,
@@ -85,7 +156,16 @@ def validate(label, doc):
     if FAILURES:
         return
 
-    check(doc["schema"] == "procoup-stats/1", label, "wrong schema id")
+    check(doc["schema"] in ("procoup-stats/1", "procoup-stats/2"),
+          label, "wrong schema id")
+    # The faults block is what distinguishes /2 from /1 — its presence
+    # and the schema version must agree, so clean runs stay /1.
+    if doc["schema"] == "procoup-stats/2":
+        check("faults" in doc, label, "schema /2 without faults block")
+        if "faults" in doc:
+            validate_faults(label, doc)
+    else:
+        check("faults" not in doc, label, "schema /1 with faults block")
 
     machine = doc["machine"]
     expect_keys(
@@ -191,38 +271,108 @@ def validate(label, doc):
           "invariant block inconsistent")
 
 
+def run_pcsim(pcsim, label, flags):
+    """Run pcsim with --stats-json, return the parsed document."""
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        cmd = [pcsim, "--stats-json", tmp.name] + flags
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        check(proc.returncode == 0, label,
+              f"pcsim failed: {proc.stderr.strip()}")
+        if proc.returncode != 0:
+            return None
+        try:
+            return json.load(open(tmp.name))
+        except json.JSONDecodeError as e:
+            check(False, label, f"invalid JSON: {e}")
+            return None
+
+
+def validate_bundle(path):
+    """A harness --stats-json bundle: stats and/or error records."""
+    n = 0
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        check(False, path, f"unreadable bundle: {e}")
+        return 0
+    check(doc.get("schema") in ("procoup-stats-bundle/1",
+                                "procoup-stats-bundle/2"),
+          path, f"bad bundle schema '{doc.get('schema')}'")
+    for run in doc.get("runs", []):
+        label = f"{path}:{run.get('label', '?')}"
+        check("label" in run, path, "bundle entry without label")
+        if "error" in run:
+            check(doc.get("schema") == "procoup-stats-bundle/2", path,
+                  "error record in a /1 bundle")
+            validate_error_record(label, run["error"])
+        else:
+            check("stats" in run, label, "entry has neither stats "
+                  "nor error")
+            if "stats" in run:
+                validate(label, run["stats"])
+        n += 1
+    return n
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--pcsim", required=True,
                     help="path to the pcsim binary")
+    ap.add_argument("--bundle", action="append", default=[],
+                    help="also validate this harness --stats-json "
+                         "bundle (repeatable)")
     args = ap.parse_args()
 
+    n = 0
     for mname, mflags in MACHINES.items():
         for bench in BENCHMARKS:
             label = f"{bench}@{mname}"
-            with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
-                cmd = [args.pcsim, "--benchmark", bench, "--mode",
-                       "coupled", "--verify",
-                       "--stats-json", tmp.name] + mflags
-                proc = subprocess.run(cmd, capture_output=True,
-                                      text=True)
-                check(proc.returncode == 0, label,
-                      f"pcsim failed: {proc.stderr.strip()}")
-                if proc.returncode != 0:
-                    continue
-                try:
-                    doc = json.load(open(tmp.name))
-                except json.JSONDecodeError as e:
-                    check(False, label, f"invalid JSON: {e}")
-                    continue
-                validate(label, doc)
+            doc = run_pcsim(args.pcsim, label,
+                            ["--benchmark", bench, "--mode", "coupled",
+                             "--verify"] + mflags)
+            if doc is None:
+                continue
+            validate(label, doc)
+            check(doc.get("schema") == "procoup-stats/1", label,
+                  "clean run must stay procoup-stats/1")
+            n += 1
+
+    # Fault injection: same workload, now a /2 document whose faults
+    # block must be internally consistent — and still verify.
+    label = "Matrix@faulted"
+    doc = run_pcsim(args.pcsim, label,
+                    ["--benchmark", "Matrix", "--mode", "coupled",
+                     "--verify", "--faults", "1.0", "--sanitize"])
+    if doc is not None:
+        validate(label, doc)
+        check(doc.get("schema") == "procoup-stats/2", label,
+              "faulted run must be procoup-stats/2")
+        if "faults" in doc:
+            check(doc["faults"]["totalEvents"] > 0, label,
+                  "faulted run injected nothing")
+        n += 1
+
+    # Fail-safe budget exhaustion: a structured error document with a
+    # zero exit, never a crash.
+    label = "Matrix@cycle-capped"
+    doc = run_pcsim(args.pcsim, label,
+                    ["--benchmark", "Matrix", "--mode", "coupled",
+                     "--cycle-cap", "50", "--fail-safe"])
+    if doc is not None:
+        validate(label, doc)
+        check(doc.get("error", {}).get("kind") == "cycle-limit",
+              label, f"expected a cycle-limit error, got {doc}")
+        n += 1
+
+    for path in args.bundle:
+        n += validate_bundle(path)
 
     if FAILURES:
         for f in FAILURES:
             print(f"FAIL {f}", file=sys.stderr)
         return 1
-    print(f"ok: {len(MACHINES) * len(BENCHMARKS)} stats documents "
-          "validated against procoup-stats/1")
+    print(f"ok: {n} stats documents validated against "
+          "procoup-stats/1 + /2")
     return 0
 
 

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Distill the fault_degradation stats bundle into BENCH_faults.json.
+
+bench/fault_degradation sweeps the three machine organizations (STS,
+TPE, Coupled) across memory-fault intensities 0..1 and writes a
+"procoup-stats-bundle" via --stats-json; each faulted entry is a
+"procoup-stats/2" document carrying the injected-fault counters. This
+script reduces the bundle to the degradation curve:
+
+  * per (benchmark, mode): throughput at each intensity, throughput
+    retention at full intensity, and latency amplification — wall
+    cycles added per injected fault-delay cycle (0 = fully masked,
+    1 = fully serialized);
+  * per mode: the averages of both figures;
+  * the paper's headline check: the coupled machine must amplify
+    injected memory latency no worse than the uncoupled STS machine
+    ("coupled_masks_no_worse": true).
+
+Usage:
+  collect_faults.py --out BENCH_faults.json BUNDLE.json
+  collect_faults.py --check BUNDLE.json      validate + verify the
+                                             headline check only
+
+Exits non-zero if the bundle is malformed or the headline check
+fails, so scripts/run_all.sh (and CI) notice a masking regression.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+LABEL = re.compile(
+    r"^(?P<bench>[^/]+)/(?P<mode>[^@]+)@(?P<machine>.+)"
+    r"\+faults=(?P<intensity>[0-9.]+)$")
+
+INJECTED_KEYS = [
+    "memJitterCycles",
+    "memBurstCycles",
+    "bankStormDelayCycles",
+    "fuBubbleCycles",
+    "spawnDelayCycles",
+]
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_bundle(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    schema = doc.get("schema", "")
+    if not schema.startswith("procoup-stats-bundle/"):
+        fail(f"{path}: schema '{schema}' is not a stats bundle")
+    if "runs" not in doc or not isinstance(doc["runs"], list):
+        fail(f"{path}: missing 'runs' array")
+    return doc
+
+
+def injected_cycles(stats):
+    faults = stats.get("faults", {})
+    return sum(faults.get(k, 0) for k in INJECTED_KEYS)
+
+
+def reduce_bundle(doc, path):
+    # curves[(bench, mode)] = {intensity: (cycles, ops, injected)}
+    curves = {}
+    machine = None
+    for run in doc["runs"]:
+        label = run.get("label", "")
+        m = LABEL.match(label)
+        if not m:
+            fail(f"{path}: label '{label}' is not a "
+                 "fault_degradation point")
+        if "error" in run:
+            fail(f"{path}: point '{label}' failed: "
+                 f"{run['error'].get('kind', '?')}")
+        stats = run.get("stats")
+        if not isinstance(stats, dict):
+            fail(f"{path}: point '{label}' has no stats")
+        machine = machine or m.group("machine")
+        key = (m.group("bench"), m.group("mode"))
+        x = float(m.group("intensity"))
+        curves.setdefault(key, {})[x] = (
+            stats["cycles"], stats["totalOps"], injected_cycles(stats))
+
+    if not curves:
+        fail(f"{path}: empty bundle")
+
+    intensities = sorted(next(iter(curves.values())).keys())
+    if intensities[0] != 0.0 or len(intensities) < 2:
+        fail(f"{path}: need a clean (0.0) point and at least one "
+             "faulted intensity")
+
+    benches = {}
+    mode_sums = {}
+    for (bench, mode), pts in sorted(curves.items()):
+        if sorted(pts.keys()) != intensities:
+            fail(f"{path}: {bench}/{mode} has a different intensity "
+                 "grid")
+        tput = [pts[x][1] / pts[x][0] if pts[x][0] else 0.0
+                for x in intensities]
+        clean_cycles = pts[intensities[0]][0]
+        worst_cycles, _, injected = pts[intensities[-1]]
+        retention = tput[-1] / tput[0] if tput[0] else 0.0
+        amplification = ((worst_cycles - clean_cycles) / injected
+                         if injected else 0.0)
+        benches.setdefault(bench, {})[mode] = {
+            "throughput": [round(v, 4) for v in tput],
+            "retention": round(retention, 4),
+            "amplification": round(amplification, 4),
+        }
+        acc = mode_sums.setdefault(mode, [0.0, 0.0, 0])
+        acc[0] += retention
+        acc[1] += amplification
+        acc[2] += 1
+
+    summary = {
+        mode: {
+            "retention": round(r / n, 4),
+            "amplification": round(a / n, 4),
+        }
+        for mode, (r, a, n) in sorted(mode_sums.items())
+    }
+
+    ok = True
+    if "Coupled" in summary and "STS" in summary:
+        # Small tolerance: the check compares third-decimal rounding.
+        ok = (summary["Coupled"]["amplification"] <=
+              summary["STS"]["amplification"] + 1e-3)
+    return {
+        "schema": "procoup-faults/1",
+        "machine": machine,
+        "intensities": intensities,
+        "injected_fault_classes": ["memJitter", "memBurst",
+                                   "bankStorm"],
+        "benchmarks": benches,
+        "summary": summary,
+        "coupled_masks_no_worse": ok,
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", help="write BENCH_faults.json here")
+    ap.add_argument("--check", action="store_true",
+                    help="validate + verify the headline check only")
+    ap.add_argument("bundle")
+    args = ap.parse_args()
+    if not args.out and not args.check:
+        ap.error("--out or --check required")
+
+    result = reduce_bundle(load_bundle(args.bundle), args.bundle)
+    if not result["coupled_masks_no_worse"]:
+        fail("coupled mode amplifies injected latency worse than "
+             f"uncoupled STS: {result['summary']}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(result, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out} "
+              f"({len(result['benchmarks'])} benchmarks x "
+              f"{len(result['summary'])} modes, coupled amplification "
+              f"{result['summary'].get('Coupled', {}).get('amplification')} "
+              f"vs STS "
+              f"{result['summary'].get('STS', {}).get('amplification')})")
+    else:
+        print(f"ok: {args.bundle} validated; coupled masks injected "
+              "latency no worse than STS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

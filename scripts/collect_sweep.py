@@ -13,8 +13,9 @@ Usage:
       Merge reports. Each report's configuration is inferred from its
       "jobs" and "compile_cache.enabled" fields.
   collect_sweep.py --check REPORT.json...
-      Validate reports against the procoup-sweep/1 schema and exit
-      non-zero on any violation (used by ctest's sweep_collect_smoke).
+      Validate reports against the procoup-sweep/1 schema (or /2,
+      which adds the fail-safe "failures" records) and exit non-zero
+      on any violation (used by ctest's sweep_collect_smoke).
 """
 
 import argparse
@@ -22,6 +23,7 @@ import json
 import sys
 
 SCHEMA = "procoup-sweep/1"
+SCHEMA_FAILSAFE = "procoup-sweep/2"  # adds failed_points + failures
 
 
 def fail(msg):
@@ -47,8 +49,18 @@ def check(doc, path):
             fail(f"{path}: '{key}' has type {type(doc[key]).__name__}")
 
     need("schema", str)
-    if doc["schema"] != SCHEMA:
-        fail(f"{path}: schema '{doc['schema']}' != '{SCHEMA}'")
+    if doc["schema"] not in (SCHEMA, SCHEMA_FAILSAFE):
+        fail(f"{path}: schema '{doc['schema']}' != '{SCHEMA}' "
+             f"or '{SCHEMA_FAILSAFE}'")
+    if doc["schema"] == SCHEMA_FAILSAFE:
+        need("failed_points", int)
+        need("failures", list)
+        if doc["failed_points"] != len(doc["failures"]):
+            fail(f"{path}: failed_points != len(failures)")
+        for rec in doc["failures"]:
+            for key in ("label", "kind", "cycle", "retries"):
+                if key not in rec:
+                    fail(f"{path}: failure record missing '{key}'")
     need("harness", str)
     need("jobs", int)
     need("points", int)

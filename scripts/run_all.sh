@@ -1,7 +1,7 @@
 #!/bin/sh
 # Build, test, and regenerate every paper table/figure and ablation.
-# Leaves test_output.txt, bench_output.txt, BENCH_sweep.json, and
-# BENCH_core.json at the repository root.
+# Leaves test_output.txt, bench_output.txt, BENCH_sweep.json,
+# BENCH_core.json, and BENCH_faults.json at the repository root.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -46,6 +46,16 @@ for b in build/bench/*; do
 done
 python3 scripts/collect_sweep.py --out BENCH_sweep.json \
     "$SWEEPDIR"/*.json
+
+# Fault-degradation curve: rerun the fault_degradation harness for
+# its per-point stats bundle (the bench_output.txt pass above printed
+# the human-readable table) and reduce it to BENCH_faults.json. The
+# collector exits non-zero if the coupled machine amplifies injected
+# memory latency worse than the uncoupled STS machine.
+build/bench/fault_degradation --jobs "$JOBS" \
+    --stats-json build/fault_stats_bundle.json > /dev/null
+python3 scripts/collect_faults.py --out BENCH_faults.json \
+    build/fault_stats_bundle.json
 
 # Simulator-core throughput: the google-benchmark microbenchmarks,
 # distilled to per-benchmark real time and simulated cycles/second.

@@ -103,11 +103,19 @@ RunResult
 CoupledNode::run(const isa::Program& program, const sim::TraceFn& tracer,
                  bool trace_stalls) const
 {
+    return run(program, sim::SimOptions{}, tracer, trace_stalls);
+}
+
+RunResult
+CoupledNode::run(const isa::Program& program,
+                 const sim::SimOptions& options,
+                 const sim::TraceFn& tracer, bool trace_stalls) const
+{
     RunResult out;
     // Keep the program (symbols in particular) with the result so
     // value()/intValue() work even without a CompileResult.
     out.compiled.program = program;
-    sim::Simulator simulator(_machine, program);
+    sim::Simulator simulator(_machine, program, options);
     if (tracer) {
         simulator.setTracer(tracer);
         simulator.setTraceStalls(trace_stalls);

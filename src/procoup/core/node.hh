@@ -120,6 +120,13 @@ class CoupledNode
     RunResult run(const isa::Program& program, const sim::TraceFn& tracer,
                   bool trace_stalls) const;
 
+    /** Execute under per-run options: a fault plan, execution budgets,
+     *  and/or the invariant sanitizer (tracer optional as above). */
+    RunResult run(const isa::Program& program,
+                  const sim::SimOptions& options,
+                  const sim::TraceFn& tracer = nullptr,
+                  bool trace_stalls = false) const;
+
     /** Compile and run in one step. */
     RunResult runSource(const std::string& source, SimMode mode) const;
 

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "procoup/fault/fault.hh"
 #include "procoup/sched/report.hh"
+#include "procoup/support/error.hh"
 #include "procoup/support/strings.hh"
 
 namespace procoup {
@@ -19,7 +21,9 @@ usage(const char* argv0)
         stderr,
         "usage: %s [--jobs N] [--list] [--filter SUBSTRING]\n"
         "       [--stats-json FILE] [--sweep-report FILE]\n"
-        "       [--no-compile-cache]\n"
+        "       [--no-compile-cache] [--sanitize[=N]]\n"
+        "       [--faults=INTENSITY] [--fault-seed=S]\n"
+        "       [--fail-safe] [--retry-faulted]\n"
         "see src/procoup/exp/harness.hh for flag semantics\n",
         argv0);
     std::exit(1);
@@ -75,6 +79,24 @@ HarnessOptions::parse(int argc, char** argv)
             o.sweepReportPath = a.substr(15);
         } else if (a == "--no-compile-cache") {
             o.compileCache = false;
+        } else if (a == "--sanitize") {
+            o.sanitizeEveryCycles = 1024;
+        } else if (a.rfind("--sanitize=", 0) == 0) {
+            o.sanitizeEveryCycles = static_cast<std::uint64_t>(
+                std::strtoull(a.c_str() + 11, nullptr, 10));
+            if (o.sanitizeEveryCycles == 0)
+                usage(argv[0]);
+        } else if (a.rfind("--faults=", 0) == 0) {
+            o.faultIntensity = std::strtod(a.c_str() + 9, nullptr);
+            if (o.faultIntensity < 0.0)
+                usage(argv[0]);
+        } else if (a.rfind("--fault-seed=", 0) == 0) {
+            o.faultSeed = static_cast<std::uint64_t>(
+                std::strtoull(a.c_str() + 13, nullptr, 10));
+        } else if (a == "--fail-safe") {
+            o.failSafe = true;
+        } else if (a == "--retry-faulted") {
+            o.retryFaulted = true;
         } else {
             usage(argv[0]);
         }
@@ -85,15 +107,29 @@ HarnessOptions::parse(int argc, char** argv)
 std::string
 formatStatsBundle(const SweepResult& result)
 {
-    std::string out =
-        "{\"schema\": \"procoup-stats-bundle/1\", \"runs\": [\n";
+    // Clean sweeps keep the byte-identical /1 encoding; only a bundle
+    // that actually contains error records announces /2.
+    const bool any_failed = result.failedCount() > 0;
+    std::string out = strCat("{\"schema\": \"procoup-stats-bundle/",
+                             any_failed ? 2 : 1, "\", \"runs\": [\n");
     bool first = true;
     for (const auto& o : result.outcomes) {
-        out += strCat(first ? "" : ",\n", "{\"label\": ",
-                      jsonQuote(o.point->label), ",\n\"stats\": ",
-                      sched::formatStatsJson(o.result.stats,
-                                             o.point->machine),
-                      "}");
+        if (o.failed) {
+            out += strCat(
+                first ? "" : ",\n", "{\"label\": ",
+                jsonQuote(o.point->label),
+                ",\n\"error\": {\"kind\": ",
+                jsonQuote(simErrorKindName(o.errorKind)),
+                ", \"cycle\": ", o.errorCycle,
+                ", \"retries\": ", o.retries,
+                ", \"message\": ", jsonQuote(o.error), "}}");
+        } else {
+            out += strCat(first ? "" : ",\n", "{\"label\": ",
+                          jsonQuote(o.point->label), ",\n\"stats\": ",
+                          sched::formatStatsJson(o.result.stats,
+                                                 o.point->machine),
+                          "}");
+        }
         first = false;
     }
     out += "\n]}\n";
@@ -107,8 +143,10 @@ formatSweepReport(const ExperimentPlan& plan, const SweepResult& result,
     double point_ms = 0.0;
     for (const auto& o : result.outcomes)
         point_ms += o.wallMs;
-    return strCat(
-        "{\"schema\": \"procoup-sweep/1\",\n\"harness\": ",
+    const std::size_t failed = result.failedCount();
+    std::string s = strCat(
+        "{\"schema\": \"procoup-sweep/", failed ? 2 : 1,
+        "\",\n\"harness\": ",
         jsonQuote(plan.name()), ",\n\"jobs\": ", result.jobs,
         ",\n\"points\": ", result.outcomes.size(),
         ",\n\"wall_ms\": ", fixed(result.wallMs, 3),
@@ -118,7 +156,25 @@ formatSweepReport(const ExperimentPlan& plan, const SweepResult& result,
         ", \"hits\": ", result.cacheStats.hits,
         ", \"misses\": ", result.cacheStats.misses,
         ", \"hit_rate\": ", fixed(result.cacheStats.hitRate(), 4),
-        "}}\n");
+        "}");
+    if (failed) {
+        s += strCat(",\n\"failed_points\": ", failed,
+                    ",\n\"failures\": [");
+        bool first = true;
+        for (const auto& o : result.outcomes) {
+            if (!o.failed)
+                continue;
+            s += strCat(first ? "" : ", ", "{\"label\": ",
+                        jsonQuote(o.point->label), ", \"kind\": ",
+                        jsonQuote(simErrorKindName(o.errorKind)),
+                        ", \"cycle\": ", o.errorCycle,
+                        ", \"retries\": ", o.retries, "}");
+            first = false;
+        }
+        s += "]";
+    }
+    s += "}\n";
+    return s;
 }
 
 int
@@ -132,25 +188,46 @@ runHarness(const ExperimentPlan& plan, const HarnessOptions& options,
     }
 
     const bool filtered = !options.filter.empty();
-    const ExperimentPlan subset =
-        filtered ? plan.filtered(options.filter) : ExperimentPlan("");
-    const ExperimentPlan& to_run = filtered ? subset : plan;
+    // A copy either way: --sanitize/--faults tune every point's
+    // simOptions in place, and outcomes point into the executed plan,
+    // which must outlive the result below.
+    ExperimentPlan to_run =
+        filtered ? plan.filtered(options.filter) : plan;
     if (filtered && to_run.empty()) {
         std::fprintf(stderr, "--filter %s matches no sweep point\n",
                      options.filter.c_str());
         return 1;
     }
+    if (options.sanitizeEveryCycles > 0 || options.faultIntensity > 0.0)
+        for (auto& p : to_run.mutablePoints()) {
+            if (options.sanitizeEveryCycles > 0)
+                p.simOptions.sanitizeEveryCycles =
+                    options.sanitizeEveryCycles;
+            if (options.faultIntensity > 0.0)
+                p.simOptions.faults = fault::FaultPlan::atIntensity(
+                    options.faultIntensity, options.faultSeed);
+        }
 
     RunnerOptions ropts;
     ropts.jobs = options.jobs;
     ropts.cacheEnabled = options.compileCache;
+    ropts.failSafe = options.failSafe;
+    ropts.retryFaultedOnce = options.retryFaulted;
     SweepRunner runner(ropts);
     const SweepResult result = runner.run(to_run);
 
     if (filtered) {
         // Single-point/CI mode: a standard summary instead of the
         // harness's full-grid rendering (which needs every point).
-        for (const auto& o : result.outcomes)
+        for (const auto& o : result.outcomes) {
+            if (o.failed) {
+                std::printf("%-48s FAILED (%s at cycle %llu)\n",
+                            o.point->label.c_str(),
+                            simErrorKindName(o.errorKind).c_str(),
+                            static_cast<unsigned long long>(
+                                o.errorCycle));
+                continue;
+            }
             std::printf("%-48s %10llu cycles  ops %llu%s%s\n",
                         o.point->label.c_str(),
                         static_cast<unsigned long long>(
@@ -161,9 +238,17 @@ runHarness(const ExperimentPlan& plan, const HarnessOptions& options,
                             ? ""
                             : "  verify OK",
                         o.compileCached ? "  [compile cached]" : "");
+        }
     } else {
         render(result);
     }
+
+    // Fail-safe failures are data (recorded in the bundle/report) but
+    // still deserve eyeballs.
+    for (const auto& o : result.outcomes)
+        if (o.failed)
+            std::fprintf(stderr, "point %s failed: %s\n",
+                         o.point->label.c_str(), o.error.c_str());
 
     if (!options.statsJsonPath.empty())
         writeFileOrDie(options.statsJsonPath,

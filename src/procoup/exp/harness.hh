@@ -26,6 +26,17 @@
  *                       these into BENCH_sweep.json)
  *   --no-compile-cache  compile every point afresh (the legacy
  *                       behavior, for baseline measurements)
+ *   --sanitize[=N]      re-validate simulator invariants every N
+ *                       cycles on every point (default N = 1024)
+ *   --faults=X          attach fault::FaultPlan::atIntensity(X) to
+ *                       every point (stats bundles switch to schema
+ *                       procoup-stats/2 with a "faults" block)
+ *   --fault-seed=S      seed of the --faults fault RNG stream
+ *   --fail-safe         record a point whose simulation throws
+ *                       (deadlock, budget, sanitizer) as a structured
+ *                       error record and keep the sweep running
+ *   --retry-faulted     with --fail-safe: retry a failed faulted
+ *                       point once under a reseeded fault plan
  *
  * Output determinism: the rendering callback runs after the sweep
  * completes, over outcomes in plan order, so harness output is
@@ -51,6 +62,16 @@ struct HarnessOptions
     std::string sweepReportPath;
     bool compileCache = true;
 
+    /** Sanitizer cadence applied to every point (0 = off). */
+    std::uint64_t sanitizeEveryCycles = 0;
+
+    /** Fault intensity applied to every point (0 = no faults). */
+    double faultIntensity = 0.0;
+    std::uint64_t faultSeed = 1;
+
+    bool failSafe = false;
+    bool retryFaulted = false;
+
     /**
      * Parse the common flags from argv (exits with usage on a
      * malformed or unknown option). All harness binaries accept
@@ -74,10 +95,13 @@ int harnessMain(const ExperimentPlan& plan, int argc, char** argv,
                 const std::function<void(const SweepResult&)>& render);
 
 /** Render the "procoup-stats-bundle/1" JSON for @p result (one entry
- *  per executed point, labeled with the point's label). */
+ *  per executed point, labeled with the point's label). A bundle
+ *  containing fail-safe error records is "procoup-stats-bundle/2":
+ *  failed points carry an "error" object instead of "stats". */
 std::string formatStatsBundle(const SweepResult& result);
 
-/** Render the "procoup-sweep/1" JSON sweep report. */
+/** Render the "procoup-sweep/1" JSON sweep report — or /2, with a
+ *  "failures" array, when any point failed under --fail-safe. */
 std::string formatSweepReport(const ExperimentPlan& plan,
                               const SweepResult& result,
                               const HarnessOptions& options);

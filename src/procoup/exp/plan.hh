@@ -25,6 +25,7 @@
 #include "procoup/config/machine.hh"
 #include "procoup/core/node.hh"
 #include "procoup/sched/compiler.hh"
+#include "procoup/sim/simulator.hh"
 #include "procoup/sim/trace.hh"
 
 namespace procoup {
@@ -58,6 +59,10 @@ struct SweepPoint
      *  sink is called from the worker thread executing this point. */
     sim::TraceFn tracer;
     bool traceStalls = false;
+
+    /** Per-run simulation options: fault plan, execution budgets,
+     *  sanitizer cadence. Defaults are all off (zero-cost). */
+    sim::SimOptions simOptions;
 };
 
 /** An ordered list of sweep points, executed by exp::SweepRunner. */
@@ -68,6 +73,11 @@ class ExperimentPlan
 
     const std::string& name() const { return _name; }
     const std::vector<SweepPoint>& points() const { return _points; }
+
+    /** Mutable access for post-construction tuning (e.g. a harness
+     *  applying --sanitize or --faults to every point). Labels must
+     *  stay unique; add() is still the only way to append. */
+    std::vector<SweepPoint>& mutablePoints() { return _points; }
     bool empty() const { return _points.empty(); }
     std::size_t size() const { return _points.size(); }
 

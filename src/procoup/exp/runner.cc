@@ -35,6 +35,15 @@ SweepResult::at(const std::string& label) const
     PROCOUP_PANIC(strCat("no sweep outcome labeled ", label));
 }
 
+std::size_t
+SweepResult::failedCount() const
+{
+    std::size_t n = 0;
+    for (const auto& o : outcomes)
+        n += o.failed ? 1 : 0;
+    return n;
+}
+
 SweepRunner::SweepRunner(RunnerOptions options)
     : _options(options)
 {
@@ -67,16 +76,51 @@ SweepRunner::execute(const SweepPoint& point)
                                     point.options, &out.compileCached);
 
     core::CoupledNode node(point.machine);
-    out.result =
-        node.run(compiled->program, point.tracer, point.traceStalls);
-    out.result.compiled = *compiled;
+    auto run_and_verify = [&](const sim::SimOptions& sim_opts) {
+        out.result = node.run(compiled->program, sim_opts,
+                              point.tracer, point.traceStalls);
+        out.result.compiled = *compiled;
+        if (!point.verifyBenchmark.empty()) {
+            std::string why;
+            if (!benchmarks::verify(point.verifyBenchmark, out.result,
+                                    &why))
+                out.error = strCat(point.verifyBenchmark, "/",
+                                   core::simModeName(point.mode),
+                                   " computed a wrong result: ", why);
+        }
+    };
 
-    if (!point.verifyBenchmark.empty()) {
-        std::string why;
-        if (!benchmarks::verify(point.verifyBenchmark, out.result, &why))
-            out.error = strCat(point.verifyBenchmark, "/",
-                               core::simModeName(point.mode),
-                               " computed a wrong result: ", why);
+    try {
+        run_and_verify(point.simOptions);
+    } catch (const SimError& e) {
+        if (!_options.failSafe)
+            throw;
+        // Graceful degradation: this point becomes a structured error
+        // record; the pool and every other point are unaffected. One
+        // optional retry under a reseeded fault plan distinguishes
+        // "this fault schedule was unlucky" from a real failure — but
+        // the *first* error is what gets recorded, so the record stays
+        // deterministic.
+        bool recovered = false;
+        if (_options.retryFaultedOnce && point.simOptions.faults.enabled) {
+            out.retries = 1;
+            sim::SimOptions retry_opts = point.simOptions;
+            retry_opts.faults = retry_opts.faults.reseeded(
+                point.simOptions.faults.seed * 0x9e3779b97f4a7c15ull +
+                1);
+            try {
+                run_and_verify(retry_opts);
+                recovered = true;
+            } catch (const SimError&) {
+            }
+        }
+        if (!recovered) {
+            out.result = core::RunResult{};
+            out.failed = true;
+            out.errorKind = e.kind();
+            out.errorCycle = e.cycle();
+            out.error = e.what();
+        }
     }
     out.wallMs = msSince(start);
     return out;
@@ -126,9 +170,11 @@ SweepRunner::run(const ExperimentPlan& plan)
         if (failures[i])
             std::rethrow_exception(failures[i]);
 
+    // Fail-safe-captured simulation failures (o.failed) are data, not
+    // verification failures — only wrong *results* are fatal here.
     bool verify_failed = false;
     for (const auto& o : res.outcomes)
-        if (!o.error.empty()) {
+        if (!o.error.empty() && !o.failed) {
             verify_failed = true;
             if (_options.exitOnVerifyFailure)
                 std::fprintf(stderr, "FATAL: %s\n", o.error.c_str());

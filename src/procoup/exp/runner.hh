@@ -34,6 +34,7 @@
 #include "procoup/core/node.hh"
 #include "procoup/exp/cache.hh"
 #include "procoup/exp/plan.hh"
+#include "procoup/support/error.hh"
 
 namespace procoup {
 namespace exp {
@@ -53,6 +54,22 @@ struct RunnerOptions
     /** Abort the process on a verification failure (default), or
      *  leave the failure in RunOutcome::error for the caller. */
     bool exitOnVerifyFailure = true;
+
+    /**
+     * Fail-safe execution: a point whose *simulation* throws SimError
+     * (deadlock, exhausted budget, sanitizer violation, runtime
+     * misbehavior) becomes a structured error record in its RunOutcome
+     * instead of killing the sweep after the pool drains. Compile
+     * errors still propagate — a malformed plan is a caller bug, not a
+     * run hazard. Off by default: ad-hoc callers keep exception
+     * semantics.
+     */
+    bool failSafe = false;
+
+    /** Under failSafe: retry a failed point once with its fault plan
+     *  reseeded before recording the failure (points without a fault
+     *  plan are never retried — their failures are deterministic). */
+    bool retryFaultedOnce = false;
 };
 
 /** What one executed sweep point produced. */
@@ -62,8 +79,18 @@ struct RunOutcome
     core::RunResult result;
 
     /** Non-empty if verification failed (only seen by callers that
-     *  set exitOnVerifyFailure = false). */
+     *  set exitOnVerifyFailure = false), or — with failed below — the
+     *  diagnostic dump of a fail-safe-captured simulation error. */
     std::string error;
+
+    /** The simulation threw SimError and failSafe captured it; result
+     *  is empty and errorKind/errorCycle/error describe the failure. */
+    bool failed = false;
+    SimErrorKind errorKind = SimErrorKind::Runtime;
+    std::uint64_t errorCycle = 0;
+
+    /** Reseeded-fault-plan retries attempted (0 or 1). */
+    int retries = 0;
 
     /** This point's compile was served from the cache. */
     bool compileCached = false;
@@ -82,6 +109,9 @@ struct SweepResult
 
     /** Outcome of the point labeled @p label. @throws if absent */
     const RunOutcome& at(const std::string& label) const;
+
+    /** Points whose simulation failed (fail-safe mode only). */
+    std::size_t failedCount() const;
 };
 
 class SweepRunner

@@ -1,0 +1,133 @@
+#include "procoup/fault/fault.hh"
+
+#include <algorithm>
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace fault {
+
+FaultPlan
+FaultPlan::atIntensity(double intensity, std::uint64_t seed)
+{
+    FaultPlan p;
+    if (intensity <= 0.0)
+        return p;
+    const double x = std::min(intensity, 1.0);
+    p.enabled = true;
+    p.seed = seed;
+    p.memJitterProb = 0.5 * x;
+    p.memJitterMax = 8;
+    p.memBurstProb = 0.02 * x;
+    p.memBurstLength = 8;
+    p.memBurstPenalty = 64;
+    p.bankStormProb = 0.01 * x;
+    p.bankStormCycles = 32;
+    p.fuBubbleProb = 0.1 * x;
+    p.fuBubbleMax = 4;
+    p.spawnDelayProb = 0.25 * x;
+    p.spawnDelayMax = 16;
+    return p;
+}
+
+FaultPlan
+FaultPlan::reseeded(std::uint64_t new_seed) const
+{
+    FaultPlan p = *this;
+    p.seed = new_seed;
+    return p;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    if (!enabled)
+        return "faults=off";
+    return strCat("faults{seed=", seed, " jitter=", memJitterProb, "/",
+                  memJitterMax, " burst=", memBurstProb, "/",
+                  memBurstLength, "x", memBurstPenalty, " storm=",
+                  bankStormProb, "/", bankStormCycles, " bubble=",
+                  fuBubbleProb, "/", fuBubbleMax, " flush=",
+                  opcacheFlushPeriod, " spawn=", spawnDelayProb, "/",
+                  spawnDelayMax, "}");
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : _plan(plan), rng(plan.seed)
+{}
+
+std::uint64_t
+FaultInjector::memoryDelay(std::uint64_t cycle)
+{
+    std::uint64_t extra = 0;
+
+    // Draw order is part of the determinism contract: jitter, then
+    // burst, then storm, for every reference, whether or not the
+    // earlier draws hit.
+    if (_plan.memJitterProb > 0.0 && rng.chance(_plan.memJitterProb)) {
+        const std::uint64_t j = static_cast<std::uint64_t>(
+            rng.uniformInt(1, std::max(_plan.memJitterMax, 1)));
+        ++_counts.memJitterEvents;
+        _counts.memJitterCycles += j;
+        extra += j;
+    }
+
+    if (_plan.memBurstProb > 0.0) {
+        if (burstRemaining == 0 && rng.chance(_plan.memBurstProb)) {
+            burstRemaining = std::max(_plan.memBurstLength, 1);
+            ++_counts.memBurstEvents;
+        }
+        if (burstRemaining > 0) {
+            --burstRemaining;
+            const std::uint64_t p =
+                static_cast<std::uint64_t>(_plan.memBurstPenalty);
+            ++_counts.memBurstAccesses;
+            _counts.memBurstCycles += p;
+            extra += p;
+        }
+    }
+
+    if (_plan.bankStormProb > 0.0) {
+        if (cycle >= stormUntil && rng.chance(_plan.bankStormProb)) {
+            stormUntil = cycle +
+                static_cast<std::uint64_t>(
+                    std::max(_plan.bankStormCycles, 1));
+            ++_counts.bankStormEvents;
+        }
+        if (cycle < stormUntil) {
+            const std::uint64_t push = stormUntil - cycle;
+            _counts.bankStormDelayCycles += push;
+            extra += push;
+        }
+    }
+
+    return extra;
+}
+
+int
+FaultInjector::pipelineBubble()
+{
+    if (_plan.fuBubbleProb <= 0.0 || !rng.chance(_plan.fuBubbleProb))
+        return 0;
+    const int b = static_cast<int>(
+        rng.uniformInt(1, std::max(_plan.fuBubbleMax, 1)));
+    ++_counts.fuBubbleEvents;
+    _counts.fuBubbleCycles += static_cast<std::uint64_t>(b);
+    return b;
+}
+
+int
+FaultInjector::spawnDelay()
+{
+    if (_plan.spawnDelayProb <= 0.0 ||
+            !rng.chance(_plan.spawnDelayProb))
+        return 0;
+    const int d = static_cast<int>(
+        rng.uniformInt(1, std::max(_plan.spawnDelayMax, 1)));
+    ++_counts.spawnDelayEvents;
+    _counts.spawnDelayCycles += static_cast<std::uint64_t>(d);
+    return d;
+}
+
+} // namespace fault
+} // namespace procoup

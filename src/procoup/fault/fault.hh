@@ -1,0 +1,190 @@
+#ifndef PROCOUP_FAULT_FAULT_HH
+#define PROCOUP_FAULT_FAULT_HH
+
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * The paper's central claim is that runtime scheduling masks
+ * *unpredictable* memory latency, yet the statistical miss model alone
+ * stresses the scheduler only mildly and stationarily. A FaultPlan
+ * attaches adversarial, bursty perturbations to a simulation:
+ *
+ *  - memory-latency jitter: every reference may pick up extra cycles;
+ *  - heavy-tail miss bursts: one trigger makes the next K references
+ *    all pay a large penalty (correlated misses, unlike the
+ *    independent Bernoulli process of config::MemoryConfig);
+ *  - bank-busy storms: a trigger freezes all banks for a window, and
+ *    every reference arriving inside it is pushed past its end;
+ *  - function-unit pipeline bubbles: an issued register-writing
+ *    operation's result is delayed extra cycles in the pipeline;
+ *  - operation-cache flushes: all lines are invalidated periodically
+ *    (only meaningful when the op-cache model is enabled);
+ *  - thread-spawn delays: a FORK's child activates late.
+ *
+ * Determinism contract: every perturbation is drawn from one
+ * support::Rng owned by the FaultInjector and seeded from
+ * FaultPlan::seed, and every draw happens at a simulation *event*
+ * (memory access, issue, FORK) — never per wall-clock or per
+ * host-scheduler whim. Identical (machine, program, plan) triples
+ * therefore reproduce bit-identical RunStats at any sweep --jobs
+ * count, and the fast-forward path stays valid: a quiescent span
+ * contains no events, hence no draws. tests/fault_injection_test.cc
+ * enforces both halves (seed stability, and equality against the slow
+ * reference simulator under the same plan).
+ *
+ * Zero-cost-when-off contract: a disabled plan attaches no injector;
+ * the hot paths test one pointer against null, the RNG is never
+ * constructed, and all outputs are byte-identical to a build without
+ * this subsystem.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "procoup/support/rng.hh"
+
+namespace procoup {
+namespace fault {
+
+/** Counters of injected perturbations (part of sim::RunStats). */
+struct FaultCounts
+{
+    std::uint64_t memJitterEvents = 0;
+    std::uint64_t memJitterCycles = 0;
+    std::uint64_t memBurstEvents = 0;       ///< bursts triggered
+    std::uint64_t memBurstAccesses = 0;     ///< references taxed by one
+    std::uint64_t memBurstCycles = 0;
+    std::uint64_t bankStormEvents = 0;
+    std::uint64_t bankStormDelayCycles = 0;
+    std::uint64_t fuBubbleEvents = 0;
+    std::uint64_t fuBubbleCycles = 0;
+    std::uint64_t opcacheFlushes = 0;
+    std::uint64_t spawnDelayEvents = 0;
+    std::uint64_t spawnDelayCycles = 0;
+
+    /** Total perturbation events of any kind. */
+    std::uint64_t totalEvents() const
+    {
+        return memJitterEvents + memBurstEvents + bankStormEvents +
+               fuBubbleEvents + opcacheFlushes + spawnDelayEvents;
+    }
+
+    bool operator==(const FaultCounts&) const = default;
+};
+
+/**
+ * A declarative fault schedule. All probabilities are per event
+ * (memory reference, issued ALU op, FORK); all magnitudes in cycles.
+ * Default-constructed plans are disabled and inject nothing.
+ */
+struct FaultPlan
+{
+    bool enabled = false;
+
+    /** Seed of the dedicated fault RNG stream (independent of the
+     *  memory model's MemoryConfig::seed). */
+    std::uint64_t seed = 1;
+
+    /** Per-reference latency jitter: with probability @p memJitterProb
+     *  add uniform [1, memJitterMax] cycles. */
+    double memJitterProb = 0.0;
+    int memJitterMax = 8;
+
+    /** Heavy-tail bursts: with probability @p memBurstProb a reference
+     *  opens a burst; it and the next memBurstLength - 1 references
+     *  each pay memBurstPenalty extra cycles. */
+    double memBurstProb = 0.0;
+    int memBurstLength = 8;
+    int memBurstPenalty = 64;
+
+    /** Bank-busy storms: with probability @p bankStormProb a reference
+     *  freezes the memory system for bankStormCycles; references
+     *  arriving inside the window are pushed past its end. */
+    double bankStormProb = 0.0;
+    int bankStormCycles = 32;
+
+    /** Pipeline bubbles: with probability @p fuBubbleProb an issued
+     *  register-writing operation's completion slips by uniform
+     *  [1, fuBubbleMax] cycles. */
+    double fuBubbleProb = 0.0;
+    int fuBubbleMax = 4;
+
+    /** Invalidate every operation-cache line each @p opcacheFlushPeriod
+     *  cycles (0 = never; needs the op-cache model enabled). */
+    std::uint64_t opcacheFlushPeriod = 0;
+
+    /** Spawn delays: with probability @p spawnDelayProb a FORK's child
+     *  activates uniform [1, spawnDelayMax] cycles late. */
+    double spawnDelayProb = 0.0;
+    int spawnDelayMax = 16;
+
+    /**
+     * A plan scaled to one master knob: at @p intensity in [0, 1] every
+     * fault class is armed proportionally (the degradation-curve
+     * harness sweeps this). intensity 0 returns a disabled plan.
+     */
+    static FaultPlan atIntensity(double intensity,
+                                 std::uint64_t seed = 1);
+
+    /** The plan with a different RNG seed (fail-safe retry). */
+    FaultPlan reseeded(std::uint64_t new_seed) const;
+
+    /** Canonical one-line encoding (label/fingerprint material). */
+    std::string toString() const;
+};
+
+/**
+ * The runtime half: owns the fault RNG stream and the transient state
+ * (open burst, storm window), answers the simulator's hooks, and
+ * counts what it injected. One injector serves exactly one simulation.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan& plan);
+
+    const FaultPlan& plan() const { return _plan; }
+    const FaultCounts& counts() const { return _counts; }
+
+    /**
+     * Extra arrival delay for a memory reference issued at @p cycle:
+     * jitter + burst tax + storm pushback, each drawn/updated in this
+     * fixed order. Called once per issueLoad/issueStore from
+     * sim::MemorySystem::schedule().
+     */
+    std::uint64_t memoryDelay(std::uint64_t cycle);
+
+    /** Extra pipeline latency for a register-writing op issued this
+     *  cycle (0 = no bubble). */
+    int pipelineBubble();
+
+    /** Extra activation delay for a FORK issued this cycle. */
+    int spawnDelay();
+
+    /** Record one periodic op-cache flush (no draw involved; the
+     *  flush schedule is plan.opcacheFlushPeriod, not random). */
+    void noteOpcacheFlush() { ++_counts.opcacheFlushes; }
+
+    /** Upper bound of pipelineBubble() (sizes the completion wheel). */
+    int maxPipelineBubble() const
+    {
+        return _plan.fuBubbleProb > 0.0 ? _plan.fuBubbleMax : 0;
+    }
+
+  private:
+    FaultPlan _plan;
+    Rng rng;
+    FaultCounts _counts;
+
+    /** References still owing the open burst's penalty. */
+    int burstRemaining = 0;
+
+    /** Cycle the current bank storm ends (exclusive). */
+    std::uint64_t stormUntil = 0;
+};
+
+} // namespace fault
+} // namespace procoup
+
+#endif // PROCOUP_FAULT_FAULT_HH

@@ -1,6 +1,7 @@
 #include "procoup/lang/lexer.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "procoup/support/error.hh"
@@ -99,6 +100,7 @@ tokenize(const std::string& source)
             }
             const std::string text = source.substr(i, j - i);
             char* end = nullptr;
+            errno = 0;
             if (is_float) {
                 t.kind = Token::Kind::Float;
                 t.fval = std::strtod(text.c_str(), &end);
@@ -109,6 +111,10 @@ tokenize(const std::string& source)
             if (end == nullptr || *end != '\0')
                 throw CompileError(strCat("malformed number '", text,
                                           "' at ", t.loc.toString()));
+            if (errno == ERANGE)
+                throw CompileError(strCat("number '", text,
+                                          "' out of range at ",
+                                          t.loc.toString()));
             t.text = text;
             advance(j - i);
             out.push_back(t);

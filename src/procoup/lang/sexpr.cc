@@ -6,6 +6,33 @@
 namespace procoup {
 namespace lang {
 
+namespace {
+
+const char*
+kindName(Sexpr::Kind k)
+{
+    switch (k) {
+      case Sexpr::Kind::Int:    return "an integer";
+      case Sexpr::Kind::Float:  return "a float";
+      case Sexpr::Kind::Symbol: return "a symbol";
+      case Sexpr::Kind::List:   return "a list";
+    }
+    return "an atom";
+}
+
+// Typed-accessor mismatches are user-input errors — machine configs
+// and PCL programs reach these straight from the parser — so they
+// must surface as CompileError diagnostics, never abort the process.
+[[noreturn]] void
+wrongKind(const char* wanted, Sexpr::Kind got, const SourceLoc& loc)
+{
+    throw CompileError(strCat("expected ", wanted, " at ",
+                              loc.toString(), ", found ",
+                              kindName(got)));
+}
+
+} // namespace
+
 std::string
 SourceLoc::toString() const
 {
@@ -67,14 +94,16 @@ Sexpr::isCall(const std::string& s) const
 std::int64_t
 Sexpr::intValue() const
 {
-    PROCOUP_ASSERT(_kind == Kind::Int, "not an integer atom");
+    if (_kind != Kind::Int)
+        wrongKind("an integer", _kind, _loc);
     return ival;
 }
 
 double
 Sexpr::floatValue() const
 {
-    PROCOUP_ASSERT(_kind == Kind::Float, "not a float atom");
+    if (_kind != Kind::Float)
+        wrongKind("a float", _kind, _loc);
     return fval;
 }
 
@@ -83,21 +112,24 @@ Sexpr::numberValue() const
 {
     if (_kind == Kind::Int)
         return static_cast<double>(ival);
-    PROCOUP_ASSERT(_kind == Kind::Float, "not a numeric atom");
+    if (_kind != Kind::Float)
+        wrongKind("a number", _kind, _loc);
     return fval;
 }
 
 const std::string&
 Sexpr::symbol() const
 {
-    PROCOUP_ASSERT(_kind == Kind::Symbol, "not a symbol atom");
+    if (_kind != Kind::Symbol)
+        wrongKind("a symbol", _kind, _loc);
     return sym;
 }
 
 const std::vector<Sexpr>&
 Sexpr::items() const
 {
-    PROCOUP_ASSERT(_kind == Kind::List, "not a list");
+    if (_kind != Kind::List)
+        wrongKind("a list", _kind, _loc);
     return list;
 }
 

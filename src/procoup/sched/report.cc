@@ -79,7 +79,10 @@ formatStatsJson(const sim::RunStats& stats,
 {
     using sim::StallCause;
     std::string s = "{\n";
-    s += "  \"schema\": \"procoup-stats/1\",\n";
+    // Schema /2 adds only the "faults" block; a run without a fault
+    // plan keeps the byte-identical /1 encoding (zero-cost-when-off).
+    s += strCat("  \"schema\": \"procoup-stats/",
+                stats.faultsEnabled ? 2 : 1, "\",\n");
 
     s += strCat("  \"machine\": {\"name\": ",
                 jsonQuote(machine.name),
@@ -129,6 +132,25 @@ formatStatsJson(const sim::RunStats& stats,
                 jsonUintArray(stats.wbGrantsByCluster),
                 ", \"denialsByCluster\": ",
                 jsonUintArray(stats.wbDenialsByCluster), "},\n");
+
+    if (stats.faultsEnabled) {
+        const auto& f = stats.faults;
+        s += strCat("  \"faults\": {\"memJitterEvents\": ",
+                    f.memJitterEvents,
+                    ", \"memJitterCycles\": ", f.memJitterCycles,
+                    ", \"memBurstEvents\": ", f.memBurstEvents,
+                    ", \"memBurstAccesses\": ", f.memBurstAccesses,
+                    ", \"memBurstCycles\": ", f.memBurstCycles,
+                    ", \"bankStormEvents\": ", f.bankStormEvents,
+                    ", \"bankStormDelayCycles\": ",
+                    f.bankStormDelayCycles,
+                    ", \"fuBubbleEvents\": ", f.fuBubbleEvents,
+                    ", \"fuBubbleCycles\": ", f.fuBubbleCycles,
+                    ", \"opcacheFlushes\": ", f.opcacheFlushes,
+                    ", \"spawnDelayEvents\": ", f.spawnDelayEvents,
+                    ", \"spawnDelayCycles\": ", f.spawnDelayCycles,
+                    ", \"totalEvents\": ", f.totalEvents(), "},\n");
+    }
 
     s += "  \"stalls\": {\n    \"causes\": [";
     for (int k = 0; k < sim::numStallCauses; ++k)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "procoup/fault/fault.hh"
 #include "procoup/support/error.hh"
 #include "procoup/support/strings.hh"
 
@@ -49,6 +50,9 @@ MemorySystem::schedule(std::uint64_t cycle, std::uint32_t addr)
     } else {
         ++_stats.hits;
     }
+
+    if (faults)
+        arrival += faults->memoryDelay(cycle);
 
     // Keep same-address accesses in issue order (arrival may not
     // overtake an earlier access to the same word).
@@ -256,6 +260,37 @@ MemorySystem::hasPendingWrite(int thread, const isa::RegRef& dst) const
             if (targets(tx))
                 return true;
     return false;
+}
+
+void
+MemorySystem::sanitize(std::uint64_t cycle) const
+{
+    for (const auto& [addr, q] : parked) {
+        if (q.empty())
+            throw SimError(SimErrorKind::InvariantViolation, cycle,
+                           strCat("sanitize: empty park queue kept for "
+                                  "address ", addr));
+        for (const auto& tx : q)
+            if (preconditionMet(tx))
+                throw SimError(SimErrorKind::InvariantViolation, cycle,
+                               strCat("sanitize: parked reference at "
+                                      "address ", addr, " (thread ",
+                                      tx.thread, ") has a satisfied "
+                                      "precondition but was never "
+                                      "woken"));
+    }
+    for (const auto& [arrival, tx] : inFlight)
+        if (arrival != tx.arrivalCycle)
+            throw SimError(SimErrorKind::InvariantViolation, cycle,
+                           strCat("sanitize: in-flight index key ",
+                                  arrival, " disagrees with "
+                                  "transaction arrival ",
+                                  tx.arrivalCycle));
+    if (_stats.hits + _stats.misses != _stats.accesses)
+        throw SimError(SimErrorKind::InvariantViolation, cycle,
+                       strCat("sanitize: memory hits (", _stats.hits,
+                              ") + misses (", _stats.misses,
+                              ") != accesses (", _stats.accesses, ")"));
 }
 
 std::size_t

@@ -31,6 +31,7 @@
 #include "procoup/support/rng.hh"
 
 namespace procoup {
+namespace fault { class FaultInjector; }
 namespace sim {
 
 /** A load that finished this cycle and needs register writeback. */
@@ -109,6 +110,23 @@ class MemorySystem
     bool isFull(std::uint32_t addr) const;
     void poke(std::uint32_t addr, const isa::Value& v, bool full);
 
+    /**
+     * Attach a fault injector: every schedule() adds the injector's
+     * extra delay (jitter / burst / storm) before same-address ordering
+     * and bank-conflict modeling are applied, so those rules still hold
+     * under faults. Null (the default) is the zero-cost off state.
+     */
+    void setFaultInjector(fault::FaultInjector* inj) { faults = inj; }
+
+    /**
+     * Sanitizer re-validation (--sanitize): every parked reference must
+     * have an unmet precondition, park queues must be non-empty, the
+     * in-flight index key must match each transaction's arrival cycle,
+     * and hit/miss counts must sum to accesses. Throws
+     * SimError(InvariantViolation) citing @p cycle on failure.
+     */
+    void sanitize(std::uint64_t cycle) const;
+
     const MemoryStats& stats() const { return _stats; }
 
     std::uint32_t size() const
@@ -174,6 +192,9 @@ class MemorySystem
 
     /** Per-tick arrival scratch (member to keep its capacity). */
     std::vector<Transaction> arrivalScratch;
+
+    /** Optional fault injection hook (not owned; null when off). */
+    fault::FaultInjector* faults = nullptr;
 
     MemoryStats _stats;
 };

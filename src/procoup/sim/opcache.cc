@@ -57,5 +57,13 @@ OpCaches::present(int fu, std::uint32_t code, std::uint32_t row,
     return cfg.missPenalty == 0;
 }
 
+void
+OpCaches::invalidateAll()
+{
+    for (auto& unit : lines)
+        for (auto& l : unit)
+            l = Line{};
+}
+
 } // namespace sim
 } // namespace procoup

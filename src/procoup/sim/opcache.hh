@@ -51,6 +51,14 @@ class OpCaches
     bool present(int fu, std::uint32_t code, std::uint32_t row,
                  std::uint64_t cycle);
 
+    /**
+     * Invalidate every line (fault injection: periodic op-cache flush).
+     * Lines still in flight are dropped too — the requester simply
+     * restarts the fetch, which is what a real flush forces. No-op when
+     * the model is disabled.
+     */
+    void invalidateAll();
+
     const OpCacheStats& stats() const { return _stats; }
 
     bool enabled() const { return cfg.enabled; }

@@ -20,11 +20,16 @@ namespace {
 constexpr std::uint64_t neverCycle =
     std::numeric_limits<std::uint64_t>::max();
 
+/** Cycles between wall-clock deadline probes: cheap enough to leave
+ *  armed, frequent enough that a runaway loop trips within ms. */
+constexpr std::uint64_t wallCheckIntervalCycles = 4096;
+
 } // namespace
 
 Simulator::Simulator(const config::MachineConfig& machine,
-                     const isa::Program& program)
-    : machine(machine), program(program),
+                     const isa::Program& program,
+                     const SimOptions& options)
+    : machine(machine), program(program), opts(options),
       network(machine.interconnect,
               static_cast<int>(machine.clusters.size())),
       opCaches(machine.opCache, machine.numFus())
@@ -45,10 +50,16 @@ Simulator::Simulator(const config::MachineConfig& machine,
     rrLastThread.assign(fus.size(), -1);
     fuStallScratch.assign(fus.size(), FuStall{});
 
-    // Completion wheel: one bucket per reachable completion distance.
+    if (opts.faults.enabled)
+        faults = std::make_unique<fault::FaultInjector>(opts.faults);
+
+    // Completion wheel: one bucket per reachable completion distance
+    // (a fault-injected pipeline bubble extends that distance).
     int max_latency = 1;
     for (const auto& f : fus)
         max_latency = std::max(max_latency, f.latency);
+    if (faults)
+        max_latency += faults->maxPipelineBubble();
     wheel.assign(static_cast<std::size_t>(max_latency) + 1, {});
 
     // Slot index (validateProgram guarantees fu < numFus and at most
@@ -78,6 +89,19 @@ Simulator::Simulator(const config::MachineConfig& machine,
     mem = std::make_unique<MemorySystem>(machine.memory,
                                          program.memorySize,
                                          program.memInits);
+    mem->setFaultInjector(faults.get());
+
+    // Periodic op-cache flushes only bite when the op-cache model is
+    // on (which already disables fast-forward, keeping the per-cycle
+    // flush boundary check exact).
+    if (faults && faults->plan().opcacheFlushPeriod > 0 &&
+            opCaches.enabled())
+        nextOpcacheFlush = faults->plan().opcacheFlushPeriod;
+
+    nextSanitizeCycle = opts.sanitizeEveryCycles;
+    slowChecks = opts.limits.maxCycles > 0 ||
+                 opts.limits.wallClockDeadlineMs > 0.0 ||
+                 opts.sanitizeEveryCycles > 0 || nextOpcacheFlush > 0;
 
     spawnThread(this->program.entry, {});
 }
@@ -236,7 +260,8 @@ Simulator::executeIssue(const IssueDecision& d)
       case Opcode::LD: {
         const std::int64_t addr = srcs[0].asInt() + srcs[1].asInt();
         if (addr < 0)
-            throw SimError(strCat("negative load address ", addr,
+            throw SimError(SimErrorKind::Runtime, _cycle,
+                           strCat("negative load address ", addr,
                                   " in thread ", t.id()));
         mem->issueLoad(_cycle, t.id(),
                        static_cast<std::uint32_t>(addr), op.flavor,
@@ -246,7 +271,8 @@ Simulator::executeIssue(const IssueDecision& d)
       case Opcode::ST: {
         const std::int64_t addr = srcs[0].asInt() + srcs[1].asInt();
         if (addr < 0)
-            throw SimError(strCat("negative store address ", addr,
+            throw SimError(SimErrorKind::Runtime, _cycle,
+                           strCat("negative store address ", addr,
                                   " in thread ", t.id()));
         mem->issueStore(_cycle, t.id(),
                         static_cast<std::uint32_t>(addr), op.flavor,
@@ -267,6 +293,9 @@ Simulator::executeIssue(const IssueDecision& d)
       case Opcode::FORK: {
         PendingSpawn ps;
         ps.readyCycle = _cycle + fu.latency;
+        if (faults)
+            ps.readyCycle +=
+                static_cast<std::uint64_t>(faults->spawnDelay());
         ps.forkTarget = op.forkTarget;
         ps.args = srcs;
         pendingSpawns.push_back(std::move(ps));
@@ -290,7 +319,9 @@ Simulator::executeIssue(const IssueDecision& d)
         r.value = evalAlu(op.opcode, srcs);
         // Latency 0 behaves as 1: results were only ever collected at
         // the top of the *next* cycle.
-        const int lat = fu.latency < 1 ? 1 : fu.latency;
+        int lat = fu.latency < 1 ? 1 : fu.latency;
+        if (faults)
+            lat += faults->pipelineBubble();
         wheel[(_cycle + static_cast<std::uint64_t>(lat)) %
               wheel.size()].push_back(std::move(r));
         ++inFlightCount;
@@ -460,6 +491,11 @@ Simulator::step()
     if (finished())
         return false;
 
+    // One predictable branch on the clean hot path; taken only when a
+    // budget, the sanitizer, or a flush schedule armed it.
+    if (slowChecks)
+        preCycleChecks();
+
     progressThisCycle = false;
     network.beginCycle();
 
@@ -585,6 +621,20 @@ Simulator::fastForwardQuiescentSpan()
     for (const auto& ps : pendingSpawns)
         next = std::min(next, ps.readyCycle - 1);
 
+    if (slowChecks) {
+        // Budget and sanitizer boundaries are schedulable events too:
+        // land on them exactly, so preCycleChecks() fires at the same
+        // cycle plain cycle-by-cycle stepping would have reported.
+        if (opts.limits.maxCycles)
+            next = std::min(next, opts.limits.maxCycles);
+        if (opts.sanitizeEveryCycles)
+            next = std::min(next, nextSanitizeCycle);
+        if (opts.limits.wallClockDeadlineMs > 0.0 && wallStarted)
+            next = std::min(next, nextWallCheckCycle);
+        if (nextOpcacheFlush)
+            next = std::min(next, nextOpcacheFlush);
+    }
+
     // Never skip past the deadlock detector: cycle-by-cycle stepping
     // reports at lastProgressCycle + limit + 1, after charging stalls
     // through lastProgressCycle + limit.
@@ -680,6 +730,170 @@ Simulator::manageActiveSet()
 }
 
 void
+Simulator::preCycleChecks()
+{
+    if (opts.limits.maxCycles && _cycle >= opts.limits.maxCycles)
+        throw SimError(SimErrorKind::CycleLimit, _cycle,
+                       strCat("cycle budget of ",
+                              opts.limits.maxCycles,
+                              " cycle(s) exhausted (",
+                              activeThreads(), " active thread(s), ",
+                              mem->parkedCount(),
+                              " parked memory reference(s))"));
+
+    if (opts.limits.wallClockDeadlineMs > 0.0) {
+        if (!wallStarted) {
+            wallStart = std::chrono::steady_clock::now();
+            wallStarted = true;
+            nextWallCheckCycle = _cycle + wallCheckIntervalCycles;
+        } else if (_cycle >= nextWallCheckCycle) {
+            nextWallCheckCycle = _cycle + wallCheckIntervalCycles;
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wallStart)
+                    .count();
+            if (ms > opts.limits.wallClockDeadlineMs)
+                throw SimError(
+                    SimErrorKind::WallClockDeadline, _cycle,
+                    strCat("wall-clock deadline of ",
+                           opts.limits.wallClockDeadlineMs,
+                           " ms exhausted after ", _cycle,
+                           " cycle(s) (", activeThreads(),
+                           " active thread(s))"));
+        }
+    }
+
+    if (opts.sanitizeEveryCycles && _cycle >= nextSanitizeCycle) {
+        nextSanitizeCycle = _cycle + opts.sanitizeEveryCycles;
+        sanitizeCheck();
+    }
+
+    if (nextOpcacheFlush && _cycle >= nextOpcacheFlush) {
+        opCaches.invalidateAll();
+        faults->noteOpcacheFlush();
+        const std::uint64_t p = faults->plan().opcacheFlushPeriod;
+        while (nextOpcacheFlush <= _cycle)
+            nextOpcacheFlush += p;
+    }
+}
+
+void
+Simulator::sanitizeCheck() const
+{
+    const std::uint64_t nf = fus.size();
+
+    // (a) Stall conservation at every roll-up level. At the top of a
+    // cycle every unit has been charged exactly once per executed
+    // cycle, so each FU's buckets sum to _cycle exactly.
+    if (stallCountsTotal(_stats.stallsTotal) != _cycle * nf)
+        throw SimError(SimErrorKind::InvariantViolation, _cycle,
+                       strCat("sanitize: machine stall buckets sum to ",
+                              stallCountsTotal(_stats.stallsTotal),
+                              ", expected cycles*numFus = ",
+                              _cycle * nf, " {",
+                              formatStallCounts(_stats.stallsTotal),
+                              "}"));
+    StallCounts roll{};
+    for (std::size_t fu = 0; fu < nf; ++fu) {
+        if (stallCountsTotal(_stats.stallsByFu[fu]) != _cycle)
+            throw SimError(SimErrorKind::InvariantViolation, _cycle,
+                           strCat("sanitize: fu ", fu,
+                                  " stall buckets sum to ",
+                                  stallCountsTotal(
+                                      _stats.stallsByFu[fu]),
+                                  ", expected ", _cycle));
+        if (_stats.stallsByFu[fu][static_cast<int>(
+                StallCause::Issued)] != _stats.opsByFu[fu])
+            throw SimError(SimErrorKind::InvariantViolation, _cycle,
+                           strCat("sanitize: fu ", fu,
+                                  " issued bucket disagrees with its "
+                                  "op count"));
+        for (int k = 0; k < numStallCauses; ++k)
+            roll[k] += _stats.stallsByFu[fu][k];
+    }
+    StallCounts clusterRoll{};
+    for (const auto& c : _stats.stallsByCluster)
+        for (int k = 0; k < numStallCauses; ++k)
+            clusterRoll[k] += c[k];
+    for (int k = 0; k < numStallCauses; ++k)
+        if (roll[k] != _stats.stallsTotal[k] ||
+                clusterRoll[k] != _stats.stallsTotal[k])
+            throw SimError(SimErrorKind::InvariantViolation, _cycle,
+                           strCat("sanitize: stall roll-ups disagree "
+                                  "in bucket ",
+                                  stallCauseName(
+                                      static_cast<StallCause>(k))));
+
+    // (b) Pipeline and writeback population counters.
+    std::size_t wheelPop = 0;
+    for (const auto& b : wheel)
+        wheelPop += b.size();
+    if (wheelPop != inFlightCount)
+        throw SimError(SimErrorKind::InvariantViolation, _cycle,
+                       strCat("sanitize: completion wheel holds ",
+                              wheelPop, " result(s) but inFlightCount "
+                              "is ", inFlightCount));
+    std::size_t wbPop = 0;
+    for (const auto& q : wbByThread)
+        wbPop += q.size();
+    if (wbPop != wbCount)
+        throw SimError(SimErrorKind::InvariantViolation, _cycle,
+                       strCat("sanitize: writeback queues hold ",
+                              wbPop, " entry(ies) but wbCount is ",
+                              wbCount));
+
+    // (c) Scoreboard presence bits: every cleared bit must have a
+    // pending producer — a result in the wheel, a queued writeback,
+    // or an outstanding memory reference. A cleared bit nobody will
+    // ever set again is a silent deadlock in the making.
+    for (const auto& tp : threads) {
+        const ThreadContext& t = *tp;
+        const RegisterSet& regs = t.regs();
+        for (int c = 0; c < regs.numClusters(); ++c) {
+            for (std::uint32_t i = 0; i < regs.frameSize(c); ++i) {
+                isa::RegRef r;
+                r.cluster = static_cast<std::uint16_t>(c);
+                r.index = static_cast<std::uint16_t>(i);
+                if (regs.isValid(r))
+                    continue;
+                bool pending = mem->hasPendingWrite(t.id(), r);
+                for (const auto& e :
+                     wbByThread[static_cast<std::size_t>(t.id())]) {
+                    if (pending)
+                        break;
+                    pending = e.dst == r;
+                }
+                for (const auto& b : wheel) {
+                    if (pending)
+                        break;
+                    for (const auto& res : b) {
+                        if (res.thread != t.id())
+                            continue;
+                        for (const auto& d : res.dsts)
+                            if (d == r) {
+                                pending = true;
+                                break;
+                            }
+                        if (pending)
+                            break;
+                    }
+                }
+                if (!pending)
+                    throw SimError(
+                        SimErrorKind::InvariantViolation, _cycle,
+                        strCat("sanitize: thread ", t.id(),
+                               " register ", r.toString(),
+                               " is invalid with no pending producer "
+                               "(orphaned presence bit)"));
+            }
+        }
+    }
+
+    // (d) Memory-system full/empty and parking invariants.
+    mem->sanitize(_cycle);
+}
+
+void
 Simulator::checkDeadlock()
 {
     if (finished() || progressThisCycle)
@@ -694,6 +908,8 @@ Simulator::reportDeadlock()
 {
     std::string s = strCat("deadlock at cycle ", _cycle, ": ");
     s += strCat(mem->parkedCount(), " parked memory reference(s); ");
+    s += strCat("stalls{", formatStallCounts(_stats.stallsTotal),
+                "}; ");
     for (const auto& t : threads) {
         if (t->state() != ThreadState::Active)
             continue;
@@ -703,11 +919,18 @@ Simulator::reportDeadlock()
         for (std::size_t i = 0; i < inst.slots.size(); ++i) {
             if (t->slotIssued(i))
                 continue;
-            s += strCat(" waiting:", inst.slots[i].op.toString());
+            const Operation& op = inst.slots[i].op;
+            s += strCat(" waiting:", op.toString());
+            s += operandsReady(*t, op)
+                     ? "{ready}"
+                     : strCat("{",
+                              stallCauseName(
+                                  classifyOperandStall(*t, op)),
+                              "}");
         }
         s += "] ";
     }
-    throw SimError(s);
+    throw SimError(SimErrorKind::Deadlock, _cycle, s);
 }
 
 RunStats
@@ -715,6 +938,8 @@ Simulator::run()
 {
     while (step()) {
     }
+    if (opts.sanitizeEveryCycles > 0)
+        sanitizeCheck();
     return stats();
 }
 
@@ -735,6 +960,10 @@ Simulator::stats() const
     out.opCacheLineWaitCycles = opCaches.stats().lineWaitCycles;
     out.wbGrantsByCluster = network.stats().grantsByCluster;
     out.wbDenialsByCluster = network.stats().denialsByCluster;
+    if (faults) {
+        out.faultsEnabled = true;
+        out.faults = faults->counts();
+    }
 
     out.threads.clear();
     for (const auto& t : threads) {

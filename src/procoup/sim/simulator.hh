@@ -30,12 +30,14 @@
  * accounting bulk-charged.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
 
 #include "procoup/config/machine.hh"
+#include "procoup/fault/fault.hh"
 #include "procoup/isa/program.hh"
 #include "procoup/sim/interconnect.hh"
 #include "procoup/sim/memory.hh"
@@ -56,6 +58,42 @@ using RegList =
     support::InlineVec<isa::RegRef,
                        static_cast<std::size_t>(isa::Operation::maxDests)>;
 
+/**
+ * Per-run execution budgets (fail-safe sweep execution). Zero means
+ * unlimited. Exhausting a budget throws SimError with kind CycleLimit
+ * or WallClockDeadline and the cycle it tripped at, so SweepRunner can
+ * record the point as failed and keep the sweep alive.
+ */
+struct RunLimits
+{
+    /** Abort once this many cycles have executed. */
+    std::uint64_t maxCycles = 0;
+
+    /** Abort once this much host wall-clock time has elapsed since the
+     *  first step. Checked every ~4k cycles: cheap, and an infinite
+     *  simulated loop still trips it promptly. Which *cycle* it trips
+     *  at depends on host speed; RunStats of completed runs do not. */
+    double wallClockDeadlineMs = 0.0;
+};
+
+/** Optional per-run knobs: fault plan, budgets, sanitizer cadence. */
+struct SimOptions
+{
+    /** Fault-injection schedule (default: disabled, zero-cost). */
+    fault::FaultPlan faults;
+
+    RunLimits limits;
+
+    /**
+     * Re-validate internal invariants every N cycles (0 = off): the
+     * stall-conservation identity at every roll-up level, scoreboard
+     * presence bits against pending producers, and the memory system's
+     * full/empty bookkeeping. A final check also runs when the run
+     * completes. Violations throw SimError(InvariantViolation).
+     */
+    std::uint64_t sanitizeEveryCycles = 0;
+};
+
 /** Executes one compiled program on one machine configuration. */
 class Simulator
 {
@@ -65,11 +103,13 @@ class Simulator
      * the machine first; the entry thread is spawned at cycle 0.
      */
     Simulator(const config::MachineConfig& machine,
-              const isa::Program& program);
+              const isa::Program& program,
+              const SimOptions& options = {});
 
     ~Simulator();
 
-    /** Run to completion. @throws SimError on deadlock. */
+    /** Run to completion. @throws SimError on deadlock, an exhausted
+     *  budget, or a failed sanitizer check. */
     RunStats run();
 
     /**
@@ -235,10 +275,36 @@ class Simulator
     void checkDeadlock();
     [[noreturn]] void reportDeadlock();
 
+    /**
+     * Off-hot-path bookkeeping run at the top of a cycle, entered only
+     * when some option armed it (slowChecks): budget enforcement,
+     * sanitizer cadence, periodic op-cache flush. A disabled-options
+     * run pays one predictable branch per cycle.
+     */
+    void preCycleChecks();
+
+    /** --sanitize re-validation; throws SimError(InvariantViolation). */
+    void sanitizeCheck() const;
+
     config::MachineConfig machine;
 
     /** Owned copy: the simulator outlives any caller temporary. */
     isa::Program program;
+
+    SimOptions opts;
+
+    /** Live fault state; null when the plan is disabled (the hot-path
+     *  hooks test this pointer and nothing else). */
+    std::unique_ptr<fault::FaultInjector> faults;
+
+    /** Any of budgets / sanitizer / op-cache flush armed? */
+    bool slowChecks = false;
+
+    std::uint64_t nextOpcacheFlush = 0;  ///< 0 = flushing off
+    std::uint64_t nextSanitizeCycle = 0;
+    std::uint64_t nextWallCheckCycle = 0;
+    std::chrono::steady_clock::time_point wallStart;
+    bool wallStarted = false;
 
     std::vector<FuState> fus;
 

@@ -30,6 +30,19 @@ stallCountsTotal(const StallCounts& c)
     return n;
 }
 
+std::string
+formatStallCounts(const StallCounts& c)
+{
+    std::string s;
+    for (int k = 0; k < numStallCauses; ++k) {
+        if (k > 0)
+            s += " ";
+        s += strCat(stallCauseName(static_cast<StallCause>(k)), "=",
+                    c[k]);
+    }
+    return s;
+}
+
 bool
 RunStats::accountingBalanced() const
 {

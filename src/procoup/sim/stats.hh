@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "procoup/fault/fault.hh"
 #include "procoup/isa/opcode.hh"
 
 namespace procoup {
@@ -54,6 +55,11 @@ using StallCounts = std::array<std::uint64_t, numStallCauses>;
 
 /** Sum of all buckets (should equal cycles for a per-FU record). */
 std::uint64_t stallCountsTotal(const StallCounts& c);
+
+/** One-line rendering, "issued=5 no-ready-op=3 ..." — used by the
+ *  deadlock diagnostic dump (identically by the reference simulator,
+ *  whose dump must match byte-for-byte). */
+std::string formatStallCounts(const StallCounts& c);
 
 /** A MARK operation executed: (thread, mark id, cycle). */
 struct MarkEvent
@@ -136,6 +142,15 @@ struct RunStats
 
     std::vector<ThreadStats> threads;
     std::vector<MarkEvent> marks;
+
+    /** Was a fault plan attached to this run? Gates the "faults" block
+     *  of the stats JSON (schema procoup-stats/2); clean runs keep the
+     *  byte-identical /1 encoding. */
+    bool faultsEnabled = false;
+
+    /** Injected-perturbation counters (all zero when faultsEnabled is
+     *  false). */
+    fault::FaultCounts faults{};
 
     /** Average operations per cycle for a unit class (paper's
      *  "utilization"): e.g. 2.19 means 2.19 FP ops issued per cycle

@@ -4,6 +4,20 @@
 #include <cstdlib>
 
 namespace procoup {
+
+std::string
+simErrorKindName(SimErrorKind k)
+{
+    switch (k) {
+      case SimErrorKind::Runtime:            return "runtime";
+      case SimErrorKind::Deadlock:           return "deadlock";
+      case SimErrorKind::CycleLimit:         return "cycle-limit";
+      case SimErrorKind::WallClockDeadline:  return "wall-clock-deadline";
+      case SimErrorKind::InvariantViolation: return "invariant-violation";
+    }
+    return "runtime";
+}
+
 namespace detail {
 
 void

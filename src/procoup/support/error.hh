@@ -14,6 +14,7 @@
  *                  wild address, ...); thrown with diagnostics attached.
  */
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -28,13 +29,47 @@ class CompileError : public std::runtime_error
     {}
 };
 
-/** Error raised by the simulator for a misbehaving simulated program. */
+/**
+ * Why a simulation was aborted. Structured so fail-safe sweep
+ * execution (exp::SweepRunner) can classify a failed point into a
+ * machine-readable error record instead of parsing what() strings.
+ */
+enum class SimErrorKind
+{
+    Runtime,            ///< the simulated program misbehaved (wild
+                        ///< address, bad fork, ...)
+    Deadlock,           ///< no forward progress for the configured limit
+    CycleLimit,         ///< the per-run cycle budget was exhausted
+    WallClockDeadline,  ///< the per-run wall-clock budget was exhausted
+    InvariantViolation, ///< a --sanitize re-validation failed
+};
+
+/** Stable display/schema name, e.g. "wall-clock-deadline". */
+std::string simErrorKindName(SimErrorKind k);
+
+/** Error raised by the simulator for a misbehaving simulated program
+ *  or an exhausted run budget, with diagnostic context attached. */
 class SimError : public std::runtime_error
 {
   public:
     explicit SimError(const std::string& what)
         : std::runtime_error(what)
     {}
+
+    SimError(SimErrorKind kind, std::uint64_t cycle,
+             const std::string& what)
+        : std::runtime_error(what), _kind(kind), _cycle(cycle)
+    {}
+
+    SimErrorKind kind() const { return _kind; }
+
+    /** Simulation cycle the error was raised at (0 for errors thrown
+     *  before or outside the cycle loop). */
+    std::uint64_t cycle() const { return _cycle; }
+
+  private:
+    SimErrorKind _kind = SimErrorKind::Runtime;
+    std::uint64_t _cycle = 0;
 };
 
 namespace detail {

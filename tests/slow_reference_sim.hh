@@ -34,6 +34,7 @@
 
 #include "procoup/config/machine.hh"
 #include "procoup/config/validate.hh"
+#include "procoup/fault/fault.hh"
 #include "procoup/isa/program.hh"
 #include "procoup/sim/alu.hh"
 #include "procoup/sim/interconnect.hh"
@@ -52,13 +53,24 @@ class SlowReferenceSimulator
 {
   public:
     SlowReferenceSimulator(const config::MachineConfig& machine,
-                           const isa::Program& program)
-        : machine(machine), program(program),
+                           const isa::Program& program,
+                           const sim::SimOptions& options = {})
+        : machine(machine), program(program), opts(options),
           network(machine.interconnect,
                   static_cast<int>(machine.clusters.size())),
           opCaches(machine.opCache, machine.numFus())
     {
         config::validateProgram(this->program, machine);
+
+        // Fault injection mirrors the optimized simulator exactly:
+        // one injector, draws at the same events in the same order
+        // (memory schedule, issued ALU op, FORK) — the differential
+        // test requires bit-identical faulted RunStats too. Budgets
+        // and the sanitizer are not mirrored here; the reference sim
+        // exists to specify the cycle semantics, not the harness.
+        if (opts.faults.enabled)
+            faults =
+                std::make_unique<fault::FaultInjector>(opts.faults);
 
         for (int fu = 0; fu < machine.numFus(); ++fu) {
             FuState f;
@@ -76,6 +88,7 @@ class SlowReferenceSimulator
         mem = std::make_unique<sim::MemorySystem>(machine.memory,
                                                   program.memorySize,
                                                   program.memInits);
+        mem->setFaultInjector(faults.get());
 
         spawnThread(program.entry, {});
     }
@@ -260,6 +273,10 @@ class SlowReferenceSimulator
         out.opCacheLineWaitCycles = opCaches.stats().lineWaitCycles;
         out.wbGrantsByCluster = network.stats().grantsByCluster;
         out.wbDenialsByCluster = network.stats().denialsByCluster;
+        if (faults) {
+            out.faultsEnabled = true;
+            out.faults = faults->counts();
+        }
 
         out.threads.clear();
         for (const auto& t : threads) {
@@ -447,6 +464,9 @@ class SlowReferenceSimulator
           case Opcode::FORK: {
             PendingSpawn ps;
             ps.readyCycle = _cycle + fu.latency;
+            if (faults)
+                ps.readyCycle +=
+                    static_cast<std::uint64_t>(faults->spawnDelay());
             ps.forkTarget = op.forkTarget;
             ps.args = srcs;
             pendingSpawns.push_back(std::move(ps));
@@ -463,6 +483,9 @@ class SlowReferenceSimulator
           default: {
             InFlightResult r;
             r.completeCycle = _cycle + fu.latency;
+            if (faults)
+                r.completeCycle += static_cast<std::uint64_t>(
+                    faults->pipelineBubble());
             r.thread = t.id();
             r.srcCluster = fu.cluster;
             r.dsts = op.dsts;
@@ -562,10 +585,14 @@ class SlowReferenceSimulator
             reportDeadlock();
     }
 
+    // Byte-identical to sim::Simulator::reportDeadlock — the property
+    // test compares what() strings when both simulators deadlock.
     [[noreturn]] void reportDeadlock()
     {
         std::string s = strCat("deadlock at cycle ", _cycle, ": ");
         s += strCat(mem->parkedCount(), " parked memory reference(s); ");
+        s += strCat("stalls{",
+                    sim::formatStallCounts(_stats.stallsTotal), "}; ");
         for (const auto& t : threads) {
             if (t->state() != sim::ThreadState::Active)
                 continue;
@@ -575,15 +602,24 @@ class SlowReferenceSimulator
             for (std::size_t i = 0; i < inst.slots.size(); ++i) {
                 if (t->slotIssued(i))
                     continue;
-                s += strCat(" waiting:", inst.slots[i].op.toString());
+                const isa::Operation& op = inst.slots[i].op;
+                s += strCat(" waiting:", op.toString());
+                s += operandsReady(*t, op)
+                         ? "{ready}"
+                         : strCat("{",
+                                  sim::stallCauseName(
+                                      classifyOperandStall(*t, op)),
+                                  "}");
             }
             s += "] ";
         }
-        throw SimError(s);
+        throw SimError(SimErrorKind::Deadlock, _cycle, s);
     }
 
     config::MachineConfig machine;
     isa::Program program;
+    sim::SimOptions opts;
+    std::unique_ptr<fault::FaultInjector> faults;
 
     std::vector<FuState> fus;
     std::vector<int> rrLastThread;

@@ -27,6 +27,22 @@
  *                                      stall-cause attribution
  *   --verify                           (with --benchmark) check results
  *   --sym NAME                         print a data symbol after the run
+ *   --faults X                         attach a deterministic fault
+ *                                      plan of intensity X (stats-json
+ *                                      switches to procoup-stats/2
+ *                                      with a "faults" block)
+ *   --fault-seed S                     seed of the fault RNG stream
+ *   --sanitize[=N]                     re-validate simulator invariants
+ *                                      every N cycles (default 1024)
+ *   --cycle-cap N                      abort the run (SimError) after
+ *                                      N cycles
+ *   --deadline-ms T                    abort the run after T ms of
+ *                                      simulation wall-clock
+ *   --fail-safe                        a simulation failure becomes a
+ *                                      structured error record (and a
+ *                                      "procoup-stats/2" error object
+ *                                      in --stats-json) instead of a
+ *                                      nonzero exit
  *
  * The run itself goes through exp::SweepRunner as a one-point
  * ExperimentPlan sharing a compile cache with the dump path, exactly
@@ -50,6 +66,7 @@
 #include "procoup/exp/cache.hh"
 #include "procoup/exp/plan.hh"
 #include "procoup/exp/runner.hh"
+#include "procoup/fault/fault.hh"
 #include "procoup/ir/frontend.hh"
 #include "procoup/isa/asmtext.hh"
 #include "procoup/opt/passes.hh"
@@ -118,6 +135,12 @@ struct Options
     std::string stats_json;
     bool verify = false;
     std::vector<std::string> symbols;
+    double fault_intensity = 0.0;
+    std::uint64_t fault_seed = 1;
+    std::uint64_t sanitize_every = 0;
+    std::uint64_t cycle_cap = 0;
+    double deadline_ms = 0.0;
+    bool fail_safe = false;
 };
 
 Options
@@ -182,6 +205,29 @@ parseArgs(int argc, char** argv)
             o.verify = true;
         } else if (a == "--sym") {
             o.symbols.push_back(next());
+        } else if (a == "--faults") {
+            o.fault_intensity = std::strtod(next().c_str(), nullptr);
+            if (o.fault_intensity < 0.0)
+                usage(argv[0]);
+        } else if (a == "--fault-seed") {
+            o.fault_seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (a == "--sanitize") {
+            o.sanitize_every = 1024;
+        } else if (a.rfind("--sanitize=", 0) == 0) {
+            o.sanitize_every =
+                std::strtoull(a.c_str() + 11, nullptr, 10);
+            if (o.sanitize_every == 0)
+                usage(argv[0]);
+        } else if (a == "--cycle-cap") {
+            o.cycle_cap = std::strtoull(next().c_str(), nullptr, 10);
+            if (o.cycle_cap == 0)
+                usage(argv[0]);
+        } else if (a == "--deadline-ms") {
+            o.deadline_ms = std::strtod(next().c_str(), nullptr);
+            if (o.deadline_ms <= 0.0)
+                usage(argv[0]);
+        } else if (a == "--fail-safe") {
+            o.fail_safe = true;
         } else if (!a.empty() && a[0] == '-') {
             usage(argv[0]);
         } else {
@@ -240,6 +286,14 @@ try {
                      o.machine.name),
         o.machine, source, o.mode);
 
+    if (o.fault_intensity > 0.0)
+        point.simOptions.faults =
+            fault::FaultPlan::atIntensity(o.fault_intensity,
+                                          o.fault_seed);
+    point.simOptions.sanitizeEveryCycles = o.sanitize_every;
+    point.simOptions.limits.maxCycles = o.cycle_cap;
+    point.simOptions.limits.wallClockDeadlineMs = o.deadline_ms;
+
     long traced = 0;
     std::vector<sim::TraceEvent> collected;
     if (o.do_trace || !o.trace_out.empty()) {
@@ -255,9 +309,39 @@ try {
     exp::RunnerOptions ropts;
     ropts.jobs = o.jobs;
     ropts.cache = &cache;
+    ropts.failSafe = o.fail_safe;
     exp::SweepRunner runner(ropts);
     const exp::SweepResult sweep = runner.run(plan);
-    const core::RunResult& rr = sweep.outcomes.front().result;
+    const exp::RunOutcome& outcome = sweep.outcomes.front();
+
+    if (outcome.failed) {
+        // Fail-safe: the failure is a structured record, not an abort.
+        if (!o.stats_json.empty()) {
+            const std::string json = strCat(
+                "{\n  \"schema\": \"procoup-stats/2\",\n"
+                "  \"error\": {\"kind\": ",
+                jsonQuote(simErrorKindName(outcome.errorKind)),
+                ", \"cycle\": ", outcome.errorCycle,
+                ", \"message\": ", jsonQuote(outcome.error), "}\n}\n");
+            if (o.stats_json == "-") {
+                std::fputs(json.c_str(), stdout);
+            } else {
+                std::ofstream out(o.stats_json);
+                if (!out)
+                    throw CompileError(
+                        strCat("cannot write ", o.stats_json));
+                out << json;
+            }
+        }
+        std::printf("simulation FAILED (%s at cycle %llu)\n",
+                    simErrorKindName(outcome.errorKind).c_str(),
+                    static_cast<unsigned long long>(
+                        outcome.errorCycle));
+        std::fprintf(stderr, "error: %s\n", outcome.error.c_str());
+        return 0;
+    }
+
+    const core::RunResult& rr = outcome.result;
     const sim::RunStats& stats = rr.stats;
 
     if (o.do_trace && traced > o.max_trace)
