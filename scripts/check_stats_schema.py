@@ -314,17 +314,52 @@ def validate_bundle(path):
     return n
 
 
+def validate_fuzz(path):
+    """A collect_fuzz.py "procoup-fuzz/1" document."""
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        check(False, path, f"unreadable fuzz document: {e}")
+        return 0
+    check(doc.get("schema") == "procoup-fuzz/1", path,
+          f"bad fuzz schema '{doc.get('schema')}'")
+    expect_keys(path, doc,
+                {"programs": int, "points": int, "wall_ms": (int, float),
+                 "programs_per_sec": (int, float), "mismatches": dict,
+                 "corpus": dict})
+    mm = doc.get("mismatches", {})
+    expect_keys(path + ".mismatches", mm,
+                {"mode": int, "fault": int, "sim_error": int,
+                 "total": int})
+    if all(isinstance(mm.get(k), int)
+           for k in ("mode", "fault", "sim_error", "total")):
+        check(mm["total"] == mm["mode"] + mm["fault"] + mm["sim_error"],
+              path, f"mismatch counts do not add up: {mm}")
+        check(mm["total"] == 0, path,
+              f"fuzz soak reported {mm['total']} mismatch(es)")
+    corpus = doc.get("corpus", {})
+    expect_keys(path + ".corpus", corpus,
+                {"pass": int, "xfail": int, "total": int})
+    return 1
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--pcsim", required=True,
-                    help="path to the pcsim binary")
+    ap.add_argument("--pcsim",
+                    help="path to the pcsim binary (required unless "
+                         "only --fuzz documents are validated)")
     ap.add_argument("--bundle", action="append", default=[],
                     help="also validate this harness --stats-json "
                          "bundle (repeatable)")
+    ap.add_argument("--fuzz", action="append", default=[],
+                    help="also validate this collect_fuzz.py "
+                         "BENCH_fuzz.json (repeatable)")
     args = ap.parse_args()
+    if not args.pcsim and not args.fuzz:
+        ap.error("--pcsim required (or at least one --fuzz FILE)")
 
     n = 0
-    for mname, mflags in MACHINES.items():
+    for mname, mflags in (MACHINES.items() if args.pcsim else []):
         for bench in BENCHMARKS:
             label = f"{bench}@{mname}"
             doc = run_pcsim(args.pcsim, label,
@@ -337,35 +372,39 @@ def main():
                   "clean run must stay procoup-stats/1")
             n += 1
 
-    # Fault injection: same workload, now a /2 document whose faults
-    # block must be internally consistent — and still verify.
-    label = "Matrix@faulted"
-    doc = run_pcsim(args.pcsim, label,
-                    ["--benchmark", "Matrix", "--mode", "coupled",
-                     "--verify", "--faults", "1.0", "--sanitize"])
-    if doc is not None:
-        validate(label, doc)
-        check(doc.get("schema") == "procoup-stats/2", label,
-              "faulted run must be procoup-stats/2")
-        if "faults" in doc:
-            check(doc["faults"]["totalEvents"] > 0, label,
-                  "faulted run injected nothing")
-        n += 1
+    if args.pcsim:
+        # Fault injection: same workload, now a /2 document whose
+        # faults block must be internally consistent — and still
+        # verify.
+        label = "Matrix@faulted"
+        doc = run_pcsim(args.pcsim, label,
+                        ["--benchmark", "Matrix", "--mode", "coupled",
+                         "--verify", "--faults", "1.0", "--sanitize"])
+        if doc is not None:
+            validate(label, doc)
+            check(doc.get("schema") == "procoup-stats/2", label,
+                  "faulted run must be procoup-stats/2")
+            if "faults" in doc:
+                check(doc["faults"]["totalEvents"] > 0, label,
+                      "faulted run injected nothing")
+            n += 1
 
-    # Fail-safe budget exhaustion: a structured error document with a
-    # zero exit, never a crash.
-    label = "Matrix@cycle-capped"
-    doc = run_pcsim(args.pcsim, label,
-                    ["--benchmark", "Matrix", "--mode", "coupled",
-                     "--cycle-cap", "50", "--fail-safe"])
-    if doc is not None:
-        validate(label, doc)
-        check(doc.get("error", {}).get("kind") == "cycle-limit",
-              label, f"expected a cycle-limit error, got {doc}")
-        n += 1
+        # Fail-safe budget exhaustion: a structured error document
+        # with a zero exit, never a crash.
+        label = "Matrix@cycle-capped"
+        doc = run_pcsim(args.pcsim, label,
+                        ["--benchmark", "Matrix", "--mode", "coupled",
+                         "--cycle-cap", "50", "--fail-safe"])
+        if doc is not None:
+            validate(label, doc)
+            check(doc.get("error", {}).get("kind") == "cycle-limit",
+                  label, f"expected a cycle-limit error, got {doc}")
+            n += 1
 
     for path in args.bundle:
         n += validate_bundle(path)
+    for path in args.fuzz:
+        n += validate_fuzz(path)
 
     if FAILURES:
         for f in FAILURES:

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Build, test, and regenerate every paper table/figure and ablation.
 # Leaves test_output.txt, bench_output.txt, BENCH_sweep.json,
-# BENCH_core.json, and BENCH_faults.json at the repository root.
+# BENCH_core.json, BENCH_faults.json, and BENCH_fuzz.json at the
+# repository root.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -56,6 +57,15 @@ build/bench/fault_degradation --jobs "$JOBS" \
     --stats-json build/fault_stats_bundle.json > /dev/null
 python3 scripts/collect_faults.py --out BENCH_faults.json \
     build/fault_stats_bundle.json
+
+# Fuzz farm: a 500-program differential soak (every generated
+# program on both machines x all modes, clean and fault-injected),
+# reduced to BENCH_fuzz.json. The collector exits non-zero on any
+# mode/fault/sim-error mismatch, and the schema checker validates the
+# document shape.
+python3 scripts/collect_fuzz.py --harness build/bench/fuzz_soak \
+    --jobs "$JOBS" --programs 500 --out BENCH_fuzz.json
+python3 scripts/check_stats_schema.py --fuzz BENCH_fuzz.json
 
 # Simulator-core throughput: the google-benchmark microbenchmarks,
 # distilled to per-benchmark real time and simulated cycles/second.

@@ -17,6 +17,19 @@
  *  - Model: a circuit-simulator model evaluator over a 20-device
  *    synthetic CMOS netlist (no Ideal version).
  *
+ * Three families beyond the paper's four broaden the workload surface
+ * (ROADMAP "workload diversity"):
+ *
+ *  - Sort: odd-even transposition sort of 16 integers; serial phase
+ *    dependence around a disjoint parallel inner step, with
+ *    data-dependent swaps (no Ideal version).
+ *  - Stencil: two ping-pong 5-point Jacobi sweeps over an 8x8 grid;
+ *    fully static, so it has an Ideal version; the forall join is the
+ *    inter-sweep barrier in the threaded version.
+ *  - Queue: a three-stage producer/transformer/consumer pipeline over
+ *    two capacity-4 rings built from put/take full/empty
+ *    synchronization (no Ideal version).
+ *
  * Each benchmark also has a C++ reference implementation mirroring
  * the PCL arithmetic exactly; verify() checks a run's outputs.
  */
@@ -33,11 +46,15 @@ core::BenchmarkSource matrix();
 core::BenchmarkSource fft();
 core::BenchmarkSource lud();
 core::BenchmarkSource model();
+core::BenchmarkSource sort();
+core::BenchmarkSource stencil();
+core::BenchmarkSource queue();
 
-/** All four, in the paper's order. */
+/** The full registry: the paper's four in the paper's order, then the
+ *  extension families (Sort, Stencil, Queue). */
 const std::vector<core::BenchmarkSource>& all();
 
-/** Look a benchmark up by name ("Matrix", "FFT", "LUD", "Model"). */
+/** Look a benchmark up by name ("Matrix", "FFT", ..., "Queue"). */
 const core::BenchmarkSource& byName(const std::string& name);
 
 /** Look a benchmark up by its stable id (its position in all()). */

@@ -15,6 +15,9 @@ bool verifyMatrix(const core::RunResult& run, std::string* why);
 bool verifyFft(const core::RunResult& run, std::string* why);
 bool verifyLud(const core::RunResult& run, std::string* why);
 bool verifyModel(const core::RunResult& run, std::string* why);
+bool verifySort(const core::RunResult& run, std::string* why);
+bool verifyStencil(const core::RunResult& run, std::string* why);
+bool verifyQueue(const core::RunResult& run, std::string* why);
 
 } // namespace detail
 } // namespace benchmarks

@@ -1,0 +1,97 @@
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/benchmarks/detail.hh"
+
+#include <cmath>
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+namespace {
+
+/** Two capacity-4 rings (presence bits start empty) and the result
+ *  vector. Ring slots are the synchronization: a `put` into slot
+ *  (mod i 4) waits until the consumer's `take` of item i-4 emptied
+ *  it, so each ring is a bounded queue built purely from Table 1
+ *  full/empty primitives — no head/tail counters. */
+const char* kData = R"PCL(
+(defarray qa (4) :empty)
+(defarray qb (4) :empty)
+(defarray qout (16))
+)PCL";
+
+/** The three pipeline stages' arithmetic. Each stage does enough
+ *  float work that the threaded pipeline overlaps usefully. */
+const char* kStages = R"PCL(
+(defun fgen (i)
+  (+ (* 0.5 (float i)) (* 0.125 (float (mod (* 3 i) 7))) 1.25))
+(defun fmix (v)
+  (+ (* v v) (* -0.375 v) 2.0))
+(defun fout (v)
+  (* 0.25 (+ v (* 0.5 v) 3.0)))
+)PCL";
+
+} // namespace
+
+core::BenchmarkSource
+queue()
+{
+    core::BenchmarkSource b;
+    b.name = "Queue";
+
+    // A three-stage producer/transformer/consumer pipeline moving 16
+    // items through two bounded rings. The threaded version forks the
+    // first two stages and keeps the consumer in main; every item
+    // crosses two full/empty handoffs, so this family stresses the
+    // synchronizing memory operations (and the runtime's ability to
+    // overlap blocked threads) rather than raw arithmetic. The
+    // sequential version composes the same stage arithmetic directly;
+    // there is no Ideal version (the interesting structure *is* the
+    // runtime synchronization).
+    b.sequential = strCat(kData, kStages,
+        "(defun main ()"
+        "  (for (i 0 16)"
+        "    (aset qout i (fout (fmix (fgen i))))))");
+
+    b.threaded = strCat(kData, kStages,
+        "(defun producer ()"
+        "  (for (i 0 16)"
+        "    (put qa (mod i 4) (fgen i))))"
+        "(defun xform ()"
+        "  (for (i 0 16)"
+        "    (put qb (mod i 4) (fmix (take qa (mod i 4))))))"
+        "(defun main ()"
+        "  (fork (producer))"
+        "  (fork (xform))"
+        "  (for (i 0 16)"
+        "    (aset qout i (fout (take qb (mod i 4))))))");
+
+    return b;
+}
+
+namespace detail {
+
+bool
+verifyQueue(const core::RunResult& run, std::string* why)
+{
+    for (int i = 0; i < 16; ++i) {
+        const double g =
+            0.5 * i + 0.125 * ((3 * i) % 7) + 1.25;
+        const double m = g * g + -0.375 * g + 2.0;
+        const double ref = 0.25 * (m + 0.5 * m + 3.0);
+        const double got = run.value("qout", i);
+        if (std::fabs(got - ref) > 1e-9) {
+            if (why != nullptr)
+                *why = strCat("qout[", i, "] = ", got, ", expected ",
+                              ref);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace detail
+
+} // namespace benchmarks
+} // namespace procoup

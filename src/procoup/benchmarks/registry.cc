@@ -11,8 +11,10 @@ const std::vector<core::BenchmarkSource>&
 all()
 {
     static const std::vector<core::BenchmarkSource> suite = [] {
-        std::vector<core::BenchmarkSource> s = {matrix(), fft(), lud(),
-                                                model()};
+        std::vector<core::BenchmarkSource> s = {matrix(),  fft(),
+                                                lud(),     model(),
+                                                sort(),    stencil(),
+                                                queue()};
         for (std::size_t i = 0; i < s.size(); ++i)
             s[i].id = static_cast<int>(i);
         return s;
@@ -50,6 +52,12 @@ verify(const std::string& name, const core::RunResult& run,
         return detail::verifyLud(run, why);
     if (name == "Model")
         return detail::verifyModel(run, why);
+    if (name == "Sort")
+        return detail::verifySort(run, why);
+    if (name == "Stencil")
+        return detail::verifyStencil(run, why);
+    if (name == "Queue")
+        return detail::verifyQueue(run, why);
     throw CompileError(strCat("unknown benchmark: ", name));
 }
 

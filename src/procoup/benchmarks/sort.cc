@@ -1,0 +1,85 @@
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/benchmarks/detail.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+namespace {
+
+/** 16 integers with duplicates and negatives, scrambled by a
+ *  multiplicative stride so no prefix is pre-sorted. */
+const char* kData = R"PCL(
+(defarray sa (16) :int :init-each (- (mod (* 13 i) 17) 8))
+)PCL";
+
+/** One compare-exchange of the adjacent pair at (i, i+1); data-
+ *  dependent control, so Sort has no Ideal version (like LUD). */
+const char* kCmpex = R"PCL(
+          (let ((x (aref sa i)) (y (aref sa (+ i 1))))
+            (if (> x y)
+              (begin
+                (aset sa i y)
+                (aset sa (+ i 1) x))))
+)PCL";
+
+} // namespace
+
+core::BenchmarkSource
+sort()
+{
+    core::BenchmarkSource b;
+    b.name = "Sort";
+
+    // Odd-even transposition sort: 16 phases over 16 elements; phase p
+    // compare-exchanges the pairs starting at even (p even) or odd
+    // (p odd) indices. Within a phase all pairs are disjoint, so the
+    // threaded version runs them as one forall per phase — exactly the
+    // "parallel inner step, serial outer dependence" shape the paper's
+    // Matrix outer loop has, but with data-dependent swaps.
+    b.sequential = strCat(kData,
+        "(defun main ()"
+        "  (for (p 0 16)"
+        "    (for (k 0 8)"
+        "      (let ((i (+ (* 2 k) (mod p 2))))"
+        "        (if (< (+ i 1) 16) (begin", kCmpex, "))))))");
+
+    b.threaded = strCat(kData,
+        "(defun main ()"
+        "  (for (p 0 16)"
+        "    (forall (k 0 8)"
+        "      (let ((i (+ (* 2 k) (mod p 2))))"
+        "        (if (< (+ i 1) 16) (begin", kCmpex, "))))))");
+
+    return b;
+}
+
+namespace detail {
+
+bool
+verifySort(const core::RunResult& run, std::string* why)
+{
+    std::int64_t ref[16];
+    for (int i = 0; i < 16; ++i)
+        ref[i] = (13 * i) % 17 - 8;
+    std::sort(ref, ref + 16);
+    for (int i = 0; i < 16; ++i) {
+        const std::int64_t got = run.intValue("sa", i);
+        if (got != ref[i]) {
+            if (why != nullptr)
+                *why = strCat("sa[", i, "] = ", got, ", expected ",
+                              ref[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace detail
+
+} // namespace benchmarks
+} // namespace procoup

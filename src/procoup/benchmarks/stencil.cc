@@ -1,0 +1,115 @@
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/benchmarks/detail.hh"
+
+#include <cmath>
+
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace benchmarks {
+
+namespace {
+
+/** Ping-pong 8x8 grids. Both start from the same boundary-and-
+ *  interior formula so the fixed boundary is already present in the
+ *  destination grid; sweeps only rewrite the interior. */
+const char* kData = R"PCL(
+(defarray u0 (8 8) :init-each (+ (* 0.25 r) (* 0.125 c) (* 0.5 (sin (+ r c)))))
+(defarray u1 (8 8) :init-each (+ (* 0.25 r) (* 0.125 c) (* 0.5 (sin (+ r c)))))
+)PCL";
+
+/** One 5-point Jacobi relaxation of dst[i][j] from src. */
+std::string
+point(const char* src, const char* dst)
+{
+    return strCat(
+        "        (aset ", dst, " i j"
+        "          (* 0.2 (+ (aref ", src, " i j)"
+        "                    (aref ", src, " (- i 1) j)"
+        "                    (aref ", src, " (+ i 1) j)"
+        "                    (aref ", src, " i (- j 1))"
+        "                    (aref ", src, " i (+ j 1)))))");
+}
+
+/** One interior sweep src -> dst: serial, parallel-by-row, or fully
+ *  unrolled (all bounds are constants, so Stencil has an Ideal). */
+std::string
+sweep(const char* src, const char* dst, const char* style)
+{
+    if (style == std::string("forall"))
+        return strCat("  (forall (i 1 7)"
+                      "    (for (j 1 7)\n",
+                      point(src, dst), "))");
+    const char* u = style == std::string("unroll") ? " :unroll" : "";
+    return strCat("  (for (i 1 7", u, ")"
+                  "    (for (j 1 7", u, ")\n",
+                  point(src, dst), "))");
+}
+
+} // namespace
+
+core::BenchmarkSource
+stencil()
+{
+    core::BenchmarkSource b;
+    b.name = "Stencil";
+
+    // Two Jacobi sweeps with ping-pong buffers: u0 -> u1 -> u0. A
+    // sweep reads one grid and writes the other, so the rows of one
+    // sweep are independent; the forall join is the inter-sweep
+    // barrier in the threaded version.
+    b.sequential = strCat(kData,
+        "(defun main ()",
+        sweep("u0", "u1", "for"),
+        sweep("u1", "u0", "for"), ")");
+
+    b.ideal = strCat(kData,
+        "(defun main ()",
+        sweep("u0", "u1", "unroll"),
+        sweep("u1", "u0", "unroll"), ")");
+
+    b.threaded = strCat(kData,
+        "(defun main ()",
+        sweep("u0", "u1", "forall"),
+        sweep("u1", "u0", "forall"), ")");
+
+    return b;
+}
+
+namespace detail {
+
+bool
+verifyStencil(const core::RunResult& run, std::string* why)
+{
+    double a[8][8];
+    double b[8][8];
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c) {
+            a[r][c] = 0.25 * r + 0.125 * c + 0.5 * std::sin(double(r + c));
+            b[r][c] = a[r][c];
+        }
+    for (int i = 1; i < 7; ++i)
+        for (int j = 1; j < 7; ++j)
+            b[i][j] = 0.2 * (a[i][j] + a[i - 1][j] + a[i + 1][j] +
+                             a[i][j - 1] + a[i][j + 1]);
+    for (int i = 1; i < 7; ++i)
+        for (int j = 1; j < 7; ++j)
+            a[i][j] = 0.2 * (b[i][j] + b[i - 1][j] + b[i + 1][j] +
+                             b[i][j - 1] + b[i][j + 1]);
+    for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j) {
+            const double got = run.value("u0", 8 * i + j);
+            if (std::fabs(got - a[i][j]) > 1e-9) {
+                if (why != nullptr)
+                    *why = strCat("u0[", i, "][", j, "] = ", got,
+                                  ", expected ", a[i][j]);
+                return false;
+            }
+        }
+    return true;
+}
+
+} // namespace detail
+
+} // namespace benchmarks
+} // namespace procoup

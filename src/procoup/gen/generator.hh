@@ -1,0 +1,97 @@
+#ifndef PROCOUP_GEN_GENERATOR_HH
+#define PROCOUP_GEN_GENERATOR_HH
+
+/**
+ * @file
+ * Seeded random PCL program generator — the scenario-diversity engine
+ * behind the differential fuzz farm (ROADMAP "workload diversity").
+ *
+ * generate() is a pure function of (seed, options): the same inputs
+ * produce byte-identical source on every platform, so a seed range is
+ * a reproducible corpus and a failing seed is a complete bug report.
+ *
+ * Every emitted program obeys two disciplines beyond mere syntactic
+ * validity:
+ *
+ *  - Termination by construction. All loop bounds are small
+ *    constants, `while` counters strictly decrease, every `take` is
+ *    refilled by a dependent store to the same cell, produced and
+ *    consumed item counts of each channel match exactly, and stored
+ *    integers are range-reduced so no intermediate overflows.
+ *
+ *  - Mode portability. The source is meant to run under *every*
+ *    simulation mode (SEQ/STS/TPE/Coupled) and produce bit-identical
+ *    final memory, so concurrent effects are restricted to
+ *    interleaving-independent forms: thread bodies write only
+ *    thread-private output slots (disjoint regions handed out by the
+ *    generator), shared accumulator cells are touched only through
+ *    commutative take/add/store increments with constant addends,
+ *    channels are single-producer single-consumer rings of put/take
+ *    pairs, globals and the scratch array belong to the main thread
+ *    alone, and float arithmetic never crosses a thread boundary
+ *    through a shared accumulator (float reduction order would then
+ *    depend on the interleaving).
+ *
+ * The soak harness (gen/soak.hh) runs each program under all modes,
+ * with and without fault plans, and cross-checks results; the near-
+ * miss mutator at the bottom corrupts well-formed sources to probe
+ * the lexer/parser/frontend error paths instead.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace procoup {
+namespace gen {
+
+/** Size and feature knobs. Defaults generate small, feature-dense
+ *  programs (tens of statements, a few thousand simulated cycles). */
+struct GenOptions
+{
+    /** Top-level statement count range for main(). */
+    int minTopStatements = 3;
+    int maxTopStatements = 7;
+
+    /** Maximum expression tree depth. */
+    int maxExprDepth = 3;
+
+    /** Maximum statement nesting (loops/ifs) below main's top level. */
+    int maxNest = 3;
+
+    bool threads = true;  ///< fork / forall / channel pipelines
+    bool sync = true;     ///< put/take/wait-load/update idioms
+    bool floats = true;   ///< float data, locals, and arithmetic
+    bool whileLoops = true;
+};
+
+/** One generated program plus what the differential checks need. */
+struct GeneratedProgram
+{
+    std::uint64_t seed = 0;
+    std::string source;
+    bool usesThreads = false;
+
+    /** Every data symbol the program declares; final contents are
+     *  interleaving-independent by construction, so a differential
+     *  harness compares each of them across modes and fault plans. */
+    std::vector<std::string> checkedSymbols;
+};
+
+/** Generate the program for @p seed. Deterministic; never throws. */
+GeneratedProgram generate(std::uint64_t seed, const GenOptions& opts = {});
+
+/**
+ * Corrupt @p source into a near-miss: truncation, unbalanced or
+ * deeply nested parentheses, out-of-range literals, stray bytes,
+ * misspelled keywords. Deterministic in @p seed. The result must
+ * either compile or raise CompileError — never crash the frontend;
+ * tests/malformed_input_test.cc enforces this over a seed range.
+ */
+std::string mutateToNearMiss(const std::string& source,
+                             std::uint64_t seed);
+
+} // namespace gen
+} // namespace procoup
+
+#endif // PROCOUP_GEN_GENERATOR_HH

@@ -1,0 +1,242 @@
+#include "procoup/gen/reduce.hh"
+
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "procoup/lang/parser.hh"
+#include "procoup/lang/sexpr.hh"
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace gen {
+
+namespace {
+
+using lang::Sexpr;
+
+/* ---- canonical printing -------------------------------------------- */
+
+/** Sexpr::toString() prints floats at default ostream precision, which
+ *  neither round-trips the value nor guarantees the text re-lexes as a
+ *  float (2.0 would print as "2"). The reducer re-parses its own
+ *  output every probe, so it needs a faithful printer. */
+void
+printNode(const Sexpr& e, std::string& out)
+{
+    switch (e.kind()) {
+      case Sexpr::Kind::Int:
+        out += strCat(e.intValue());
+        return;
+      case Sexpr::Kind::Float: {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", e.floatValue());
+        std::string t = buf;
+        if (t.find_first_of(".eE") == std::string::npos)
+            t += ".0";  // keep it lexing as a float
+        out += t;
+        return;
+      }
+      case Sexpr::Kind::Symbol:
+        out += e.symbol();
+        return;
+      case Sexpr::Kind::List:
+        out += '(';
+        for (std::size_t i = 0; i < e.size(); ++i) {
+            if (i)
+                out += ' ';
+            printNode(e.at(i), out);
+        }
+        out += ')';
+        return;
+    }
+}
+
+std::string
+printForms(const std::vector<Sexpr>& forms)
+{
+    std::string out;
+    for (const auto& f : forms) {
+        printNode(f, out);
+        out += '\n';
+    }
+    return out;
+}
+
+/* ---- path-addressed functional edits ------------------------------- */
+
+/** A node address: index into the top-form vector, then child indices
+ *  downward. Paths are enumerated preorder so parents (big subtrees)
+ *  are probed before their children. */
+using Path = std::vector<std::size_t>;
+
+void
+enumeratePaths(const Sexpr& e, Path& prefix, std::vector<Path>& out)
+{
+    out.push_back(prefix);
+    if (!e.isList())
+        return;
+    for (std::size_t i = 0; i < e.size(); ++i) {
+        prefix.push_back(i);
+        enumeratePaths(e.at(i), prefix, out);
+        prefix.pop_back();
+    }
+}
+
+std::vector<Path>
+allPaths(const std::vector<Sexpr>& forms)
+{
+    std::vector<Path> out;
+    for (std::size_t i = 0; i < forms.size(); ++i) {
+        Path p{i};
+        enumeratePaths(forms[i], p, out);
+    }
+    return out;
+}
+
+const Sexpr*
+nodeAt(const std::vector<Sexpr>& forms, const Path& path)
+{
+    const Sexpr* e = &forms[path[0]];
+    for (std::size_t d = 1; d < path.size(); ++d) {
+        if (!e->isList() || path[d] >= e->size())
+            return nullptr;
+        e = &e->at(path[d]);
+    }
+    return e;
+}
+
+/** Rebuild @p e with the subtree at @p path (from @p depth) replaced
+ *  by @p repl, or deleted when @p repl is null. */
+Sexpr
+rebuild(const Sexpr& e, const Path& path, std::size_t depth,
+        const Sexpr* repl)
+{
+    if (depth == path.size())
+        return repl ? *repl : e;  // deletion is handled by the parent
+    std::vector<Sexpr> items;
+    for (std::size_t i = 0; i < e.size(); ++i) {
+        if (i == path[depth]) {
+            if (depth + 1 == path.size() && repl == nullptr)
+                continue;  // delete this child
+            items.push_back(rebuild(e.at(i), path, depth + 1, repl));
+        } else {
+            items.push_back(e.at(i));
+        }
+    }
+    return Sexpr::makeList(std::move(items), e.loc());
+}
+
+/** Apply replace-or-delete at @p path over the whole program. */
+std::vector<Sexpr>
+edit(const std::vector<Sexpr>& forms, const Path& path, const Sexpr* repl)
+{
+    std::vector<Sexpr> out;
+    for (std::size_t i = 0; i < forms.size(); ++i) {
+        if (i == path[0]) {
+            if (path.size() == 1) {
+                if (repl == nullptr)
+                    continue;  // drop a whole top-level form
+                out.push_back(*repl);
+            } else {
+                out.push_back(rebuild(forms[i], path, 1, repl));
+            }
+        } else {
+            out.push_back(forms[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+canonicalize(const std::string& source)
+{
+    return printForms(lang::parse(source));
+}
+
+ReduceResult
+reduce(const std::string& source,
+       const std::function<bool(const std::string&)>& stillFails,
+       const ReduceOptions& opts)
+{
+    ReduceResult res;
+    std::vector<Sexpr> forms;
+    try {
+        forms = lang::parse(source);
+    } catch (const CompileError&) {
+        res.source = source;  // not structurally reducible
+        return res;
+    }
+
+    std::string current = printForms(forms);
+    // Candidates already probed (or equal to the current state) are
+    // never probed again; with the fixed enumeration order this makes
+    // the fixpoint — and therefore the witness — deterministic.
+    std::unordered_set<std::string> tried{current};
+
+    const Sexpr zero = Sexpr::makeInt(0);
+
+    auto probe = [&](std::vector<Sexpr>&& cand) -> bool {
+        if (res.probes >= opts.maxProbes)
+            return false;
+        std::string text = printForms(cand);
+        if (!tried.insert(text).second)
+            return false;
+        ++res.probes;
+        if (!stillFails(text))
+            return false;
+        forms = std::move(cand);
+        current = std::move(text);
+        ++res.accepted;
+        return true;
+    };
+
+    bool shrunk = true;
+    while (shrunk && res.probes < opts.maxProbes) {
+        shrunk = false;
+        const std::vector<Path> paths = allPaths(forms);
+        for (const auto& path : paths) {
+            const Sexpr* node = nodeAt(forms, path);
+            if (node == nullptr)
+                continue;  // tree changed under us; next pass rescans
+
+            // 1. Delete the subtree (also covers whole top forms).
+            if (probe(edit(forms, path, nullptr))) {
+                shrunk = true;
+                break;
+            }
+            // 2. Hoist each child over the parent.
+            if (node->isList()) {
+                bool hoisted = false;
+                for (std::size_t i = 0; i < node->size(); ++i) {
+                    const Sexpr child = node->at(i);
+                    if (probe(edit(forms, path, &child))) {
+                        hoisted = true;
+                        break;
+                    }
+                }
+                if (hoisted) {
+                    shrunk = true;
+                    break;
+                }
+            }
+            // 3. Replace by the literal 0.
+            if (!(node->isInt() && node->intValue() == 0) &&
+                probe(edit(forms, path, &zero))) {
+                shrunk = true;
+                break;
+            }
+            if (res.probes >= opts.maxProbes)
+                break;
+        }
+    }
+
+    res.source = current;
+    return res;
+}
+
+} // namespace gen
+} // namespace procoup

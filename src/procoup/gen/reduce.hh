@@ -1,0 +1,72 @@
+#ifndef PROCOUP_GEN_REDUCE_HH
+#define PROCOUP_GEN_REDUCE_HH
+
+/**
+ * @file
+ * Deterministic delta-debugging reducer for PCL sources.
+ *
+ * Given a failing program and a predicate that reproduces the failure,
+ * reduce() shrinks the program while keeping the predicate true, by
+ * structural transformation of the parse tree (never raw text edits,
+ * so every candidate is at least parseable):
+ *
+ *   - delete a subtree,
+ *   - replace a subtree by the literal 0,
+ *   - hoist a child over its parent.
+ *
+ * Transformations are probed in a fixed preorder (parents before
+ * children, so large deletions are tried first), a pass restarts after
+ * every accepted shrink, and the loop runs to a fixpoint under a probe
+ * budget. There is no randomness anywhere: the same (source,
+ * predicate) pair always minimizes to the byte-identical witness, and
+ * reduce() is idempotent — both properties are enforced by
+ * tests/fuzz_reduce_test.cc, and the first makes checked-in corpus
+ * entries (tests/corpus/) stable across runs.
+ *
+ * The predicate owns the semantics of "still fails": the soak harness
+ * passes "still compiles and still miscompares across modes", the
+ * crash triage path passes "still raises the same error". A predicate
+ * must treat candidates that fail to compile as not-failing (return
+ * false), otherwise the reducer happily shrinks to garbage.
+ */
+
+#include <functional>
+#include <string>
+
+namespace procoup {
+namespace gen {
+
+struct ReduceOptions
+{
+    /** Cap on predicate invocations; the reducer returns its best
+     *  result so far when exhausted. */
+    int maxProbes = 4000;
+};
+
+struct ReduceResult
+{
+    std::string source;  ///< minimized program, canonically printed
+    int probes = 0;      ///< predicate invocations spent
+    int accepted = 0;    ///< shrinks that stuck
+};
+
+/**
+ * Re-print @p source from its parse tree in the reducer's canonical
+ * single-line-per-form layout (floats rendered round-trip exactly).
+ * Throws CompileError if the source does not parse.
+ */
+std::string canonicalize(const std::string& source);
+
+/**
+ * Shrink @p source while @p stillFails stays true. @p source itself
+ * must satisfy the predicate and must parse; otherwise it is returned
+ * unchanged. Deterministic and idempotent.
+ */
+ReduceResult reduce(const std::string& source,
+                    const std::function<bool(const std::string&)>& stillFails,
+                    const ReduceOptions& opts = {});
+
+} // namespace gen
+} // namespace procoup
+
+#endif // PROCOUP_GEN_REDUCE_HH

@@ -208,21 +208,38 @@ class Frontend
     {
         Global g;
         g.name = f.at(1).symbol();
+        if (mod.findGlobal(g.name) != nullptr)
+            err(f, strCat("duplicate global ", g.name));
         const isa::Value v = evalConstExpr(f.at(2), {});
         g.elemType = v.isFloat() ? Type::Float : Type::Int;
         g.inits.emplace_back(0, v);
         mod.addGlobal(std::move(g));
     }
 
+    /** Data-segment ceiling per array (words). Sound programs are
+     *  orders of magnitude below it; its real job is to reject
+     *  hostile dimensions before the uint32 size product in
+     *  ir::Module::addGlobal could wrap or the simulator could try a
+     *  multi-gigabyte allocation. */
+    static constexpr std::uint64_t kMaxArrayWords = 1u << 24;
+
     void
     addArray(const Sexpr& f)
     {
         Global g;
         g.name = f.at(1).symbol();
+        if (mod.findGlobal(g.name) != nullptr)
+            err(f, strCat("duplicate global ", g.name));
+        std::uint64_t words = 1;
         for (const auto& d : f.at(2).items()) {
             const isa::Value dv = evalConstExpr(d, {});
             if (dv.isFloat() || dv.asInt() <= 0)
                 err(f, "array dimensions must be positive integers");
+            if (static_cast<std::uint64_t>(dv.asInt()) > kMaxArrayWords ||
+                (words *= static_cast<std::uint64_t>(dv.asInt())) >
+                    kMaxArrayWords)
+                err(f, strCat("array ", g.name, " exceeds ",
+                              kMaxArrayWords, " words"));
             g.dims.push_back(static_cast<std::uint32_t>(dv.asInt()));
         }
         g.elemType = Type::Float;  // numeric benchmarks default
@@ -1082,6 +1099,17 @@ FuncBuilder::genMemRef(const Sexpr& form, std::size_t num_trailing)
     for (std::size_t i = 0; i < num_idx; ++i) {
         TV idx = genExpr(form.at(2 + i));
         IrValue iv = coerce(idx, Type::Int, form);
+        // A constant index outside the dimension is a guaranteed wild
+        // access (or a silent wrap into a neighboring row): reject it
+        // here instead of letting the simulator trap at runtime.
+        if (iv.isConst() && i < g->dims.size()) {
+            const std::int64_t c = iv.constant().asInt();
+            if (c < 0 || c >= static_cast<std::int64_t>(g->dims[i]))
+                err(form.at(2 + i),
+                    strCat("index ", c, " out of range for dimension ",
+                           i, " of ", name, " (size ", g->dims[i],
+                           ")"));
+        }
         if (i + 1 < g->dims.size())
             offset = emitBin(
                 Opcode::IMUL,

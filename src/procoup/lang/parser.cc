@@ -9,6 +9,13 @@ namespace lang {
 
 namespace {
 
+/** Nesting the recursive-descent parser (and every recursive consumer
+ *  of the Sexpr tree after it) will accept. Hand-written and
+ *  generated programs nest a couple of dozen levels; anything deeper
+ *  is hostile or corrupt input, and without a cap it would overflow
+ *  the C++ stack instead of raising a diagnostic. */
+constexpr int kMaxNestingDepth = 200;
+
 class Parser
 {
   public:
@@ -37,7 +44,7 @@ class Parser
     }
 
     Sexpr
-    parseOne()
+    parseOne(int depth = 0)
     {
         const Token t = take();
         switch (t.kind) {
@@ -48,13 +55,18 @@ class Parser
           case Token::Kind::Symbol:
             return Sexpr::makeSymbol(t.text, t.loc);
           case Token::Kind::LParen: {
+            if (depth >= kMaxNestingDepth)
+                throw CompileError(
+                    strCat("expression nested deeper than ",
+                           kMaxNestingDepth, " levels at ",
+                           t.loc.toString()));
             std::vector<Sexpr> items;
             while (peek().kind != Token::Kind::RParen) {
                 if (peek().kind == Token::Kind::End)
                     throw CompileError(
                         strCat("unterminated list starting at ",
                                t.loc.toString()));
-                items.push_back(parseOne());
+                items.push_back(parseOne(depth + 1));
             }
             take();  // the ')'
             return Sexpr::makeList(std::move(items), t.loc);

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regression corpus replay (tier-1).
+ *
+ * Every file in tests/corpus/ is replayed through the full
+ * differential battery (gen::checkProgram — all machines, all modes,
+ * clean and faulted):
+ *
+ *   pass-*.pcl   must come back clean. These are pinned generator
+ *                outputs; a failure means either a simulator/compiler
+ *                regression or a generator change that invalidated a
+ *                pinned source (regenerate the file deliberately).
+ *   xfail-*.pcl  must be *detected* — either the battery reports a
+ *                mismatch or compilation raises CompileError. These
+ *                are minimized witnesses of past bugs and of
+ *                guarantees the frontend makes (duplicate globals,
+ *                nesting bombs, constant out-of-range indices, array
+ *                size overflow). If one stops being detected, a guard
+ *                has regressed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "procoup/gen/soak.hh"
+#include "procoup/support/error.hh"
+
+using namespace procoup;
+namespace fs = std::filesystem;
+
+namespace {
+
+const fs::path kCorpusDir =
+    fs::path(PROCOUP_SOURCE_DIR) / "tests" / "corpus";
+
+std::vector<fs::path>
+corpusFiles(const std::string& prefix)
+{
+    std::vector<fs::path> out;
+    for (const auto& e : fs::directory_iterator(kCorpusDir))
+        if (e.path().extension() == ".pcl" &&
+            e.path().filename().string().rfind(prefix, 0) == 0)
+            out.push_back(e.path());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+slurp(const fs::path& p)
+{
+    std::ifstream f(p);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(FuzzCorpus, PassEntriesStayClean)
+{
+    const auto files = corpusFiles("pass-");
+    ASSERT_GE(files.size(), 3u) << "corpus went missing: "
+                                << kCorpusDir;
+    gen::SoakOptions opts;
+    for (const auto& p : files)
+        EXPECT_EQ(gen::checkProgram(slurp(p), opts), "")
+            << p.filename();
+}
+
+TEST(FuzzCorpus, XfailEntriesStayDetected)
+{
+    const auto files = corpusFiles("xfail-");
+    ASSERT_GE(files.size(), 5u) << "corpus went missing: "
+                                << kCorpusDir;
+    gen::SoakOptions opts;
+    for (const auto& p : files) {
+        bool detected = false;
+        std::string how;
+        try {
+            how = gen::checkProgram(slurp(p), opts);
+            detected = !how.empty();
+        } catch (const CompileError& e) {
+            detected = true;
+            how = std::string("CompileError: ") + e.what();
+        }
+        EXPECT_TRUE(detected)
+            << p.filename() << " is no longer detected";
+        SCOPED_TRACE(how);
+    }
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Crash/mismatch reduction: a known-bad program must minimize to a
+ * stable, byte-identical witness.
+ *
+ * The seeded program is generate(42) with an injected classic lost
+ * update — a forall whose iterations all read-modify-write one global
+ * register variable. Thread cloning gives every forall execution its
+ * own copy of captured register state, so the increments are lost in
+ * every threaded mode while SEQ sees all of them: a guaranteed
+ * mode-visible divergence. The reducer must strip the entire
+ * generated program away and leave only the two forms that matter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "procoup/gen/generator.hh"
+#include "procoup/gen/reduce.hh"
+#include "procoup/gen/soak.hh"
+
+using namespace procoup;
+
+namespace {
+
+/** generate(42) with a lost-update forall spliced into main. */
+std::string
+knownBadProgram()
+{
+    std::string src = gen::generate(42).source;
+    const std::string inject =
+        "\n  (forall (rz 0 6) (set g0 (+ g0 1)) (set g0 (+ g0 1)))";
+    const std::size_t at = src.rfind(")\n");
+    EXPECT_NE(at, std::string::npos);
+    src.insert(at, inject);
+    return src;
+}
+
+/** The exact minimized witness the reducer must converge to. */
+const char* const kWitness =
+    "(defvar g0 0)\n"
+    "(defun main () (forall (rz 0 6) (set g0 (+ g0 1))))\n";
+
+gen::ReduceResult
+reduceOnce(const std::string& src)
+{
+    gen::SoakOptions inner;
+    inner.reduceFailures = false;
+    const auto stillFails = [&](const std::string& cand) {
+        try {
+            return !gen::checkProgram(cand, inner).empty();
+        } catch (const CompileError&) {
+            return false;
+        }
+    };
+    gen::ReduceOptions rd;
+    rd.maxProbes = 2000;
+    return gen::reduce(src, stillFails, rd);
+}
+
+} // namespace
+
+TEST(FuzzReduce, KnownBadProgramFailsTheBattery)
+{
+    gen::SoakOptions opts;
+    const std::string msg =
+        gen::checkProgram(knownBadProgram(), opts);
+    ASSERT_NE(msg, "");
+    EXPECT_NE(msg.find("mismatch"), std::string::npos) << msg;
+}
+
+TEST(FuzzReduce, MinimizesToStableWitness)
+{
+    const std::string bad = knownBadProgram();
+
+    const gen::ReduceResult first = reduceOnce(bad);
+    EXPECT_EQ(first.source, kWitness);
+
+    // Stable: a second reduction of the same input is byte-identical.
+    const gen::ReduceResult again = reduceOnce(bad);
+    EXPECT_EQ(again.source, first.source);
+    EXPECT_EQ(again.probes, first.probes);
+
+    // Idempotent: reducing the witness returns the witness.
+    const gen::ReduceResult fix = reduceOnce(first.source);
+    EXPECT_EQ(fix.source, first.source);
+}
+
+TEST(FuzzReduce, CanonicalizeRoundTrips)
+{
+    // canonicalize() must be a fixpoint of itself and preserve what
+    // the compiler sees (the reducer compares candidates by this
+    // form).
+    const std::string src = gen::generate(42).source;
+    const std::string c1 = gen::canonicalize(src);
+    EXPECT_EQ(gen::canonicalize(c1), c1);
+}

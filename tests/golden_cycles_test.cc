@@ -9,6 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "procoup/benchmarks/benchmarks.hh"
 #include "procoup/config/presets.hh"
 #include "procoup/core/node.hh"
@@ -67,6 +72,46 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(i.param.bench) + "_" +
                core::simModeName(i.param.mode);
     });
+
+/** The generator-era benchmark families (Sort, Stencil, Queue) pin
+ *  their cycles through a checked-in data file so the values live
+ *  next to the other goldens under tests/golden/ and can be
+ *  re-measured with pcsim without recompiling this test. */
+TEST(GoldenCyclesFile, NewFamiliesMatchCheckedInGoldens)
+{
+    std::ifstream f(std::string(PROCOUP_SOURCE_DIR) +
+                    "/tests/golden/new_families_cycles.txt");
+    ASSERT_TRUE(f.is_open());
+
+    core::CoupledNode node(config::baseline());
+    int checked = 0;
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string bench, mode;
+        std::uint64_t cycles = 0;
+        ASSERT_TRUE(ss >> bench >> mode >> cycles) << line;
+
+        bool found = false;
+        for (const auto m : core::allSimModes()) {
+            std::string name = core::simModeName(m);
+            for (auto& c : name)
+                c = static_cast<char>(std::tolower(c));
+            if (name != mode)
+                continue;
+            found = true;
+            const auto run =
+                node.runBenchmark(benchmarks::byName(bench), m);
+            EXPECT_EQ(run.stats.cycles, cycles)
+                << bench << " " << mode;
+            ++checked;
+        }
+        ASSERT_TRUE(found) << "unknown mode in golden file: " << mode;
+    }
+    EXPECT_EQ(checked, 12);  // 3 families x 4 modes
+}
 
 INSTANTIATE_TEST_SUITE_P(
     Table2, GoldenCycles,

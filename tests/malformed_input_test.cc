@@ -13,6 +13,7 @@
 #include "procoup/config/parse.hh"
 #include "procoup/config/presets.hh"
 #include "procoup/core/node.hh"
+#include "procoup/gen/generator.hh"
 #include "procoup/support/error.hh"
 
 namespace procoup {
@@ -69,6 +70,90 @@ TEST(MalformedInput, DiagnosticsCarrySourceLocations)
         const std::string what = e.what();
         EXPECT_NE(what.find("line 2"), std::string::npos) << what;
     }
+}
+
+/** Generator-derived near-misses: take known-good generated programs
+ *  and apply every deterministic corruption mutateToNearMiss knows
+ *  (truncations, dropped/doubled parens, nesting bombs, out-of-range
+ *  literals, misspelled defun, stray control bytes, spliced
+ *  duplicate forms). Each mutant must either still compile or raise
+ *  CompileError — anything else (assertion abort, std::bad_alloc,
+ *  stack overflow, silent wrong parse crashing the sim) is a
+ *  frontend hardening bug. This loop found the duplicate-global
+ *  panic the frontend now rejects. */
+TEST(MalformedInput, GeneratorNearMissesNeverCrashTheFrontend)
+{
+    core::CoupledNode node(config::baseline());
+    int compiled = 0;
+    int rejected = 0;
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        const std::string good = gen::generate(seed).source;
+        for (std::uint64_t mut = 0; mut < 10; ++mut) {
+            const std::string bad =
+                gen::mutateToNearMiss(good, seed * 10 + mut);
+            try {
+                node.runSource(bad, core::SimMode::Seq);
+                ++compiled;
+            } catch (const CompileError&) {
+                ++rejected;
+            }
+            // Any other exception or signal fails the test.
+        }
+    }
+    // Sanity: the mutator must actually produce both kinds.
+    EXPECT_GT(compiled, 0);
+    EXPECT_GT(rejected, compiled);
+}
+
+TEST(MalformedInput, DeepNestingIsDepthCapped)
+{
+    std::string bomb = "(defun main () ";
+    for (int i = 0; i < 3000; ++i)
+        bomb += "(+ 1 ";
+    bomb += "1";
+    for (int i = 0; i < 3000; ++i)
+        bomb += ")";
+    bomb += ")";
+    core::CoupledNode node(config::baseline());
+    EXPECT_THROW(node.runSource(bomb, core::SimMode::Seq),
+                 CompileError);
+}
+
+TEST(MalformedInput, DuplicateGlobalsAreRejected)
+{
+    core::CoupledNode node(config::baseline());
+    EXPECT_THROW(node.runSource("(defvar x 1)(defvar x 2)"
+                                "(defun main () x)",
+                                core::SimMode::Seq),
+                 CompileError);
+    EXPECT_THROW(node.runSource("(defarray a (4) :int)"
+                                "(defvar a 0)(defun main () 0)",
+                                core::SimMode::Seq),
+                 CompileError);
+}
+
+TEST(MalformedInput, HugeArraySizesAreRejectedNotWrapped)
+{
+    core::CoupledNode node(config::baseline());
+    // 70000 * 70000 words overflows the uint32 size product; the
+    // frontend must reject it, not wrap and allocate garbage.
+    EXPECT_THROW(node.runSource("(defarray big (70000 70000) :int)"
+                                "(defun main () 0)",
+                                core::SimMode::Seq),
+                 CompileError);
+    EXPECT_THROW(node.runSource("(defarray big (20000000) :int)"
+                                "(defun main () 0)",
+                                core::SimMode::Seq),
+                 CompileError);
+}
+
+TEST(MalformedInput, ConstantIndexOutOfRangeIsRejected)
+{
+    core::CoupledNode node(config::baseline());
+    EXPECT_THROW(node.runSource("(defarray a (4) :int)"
+                                "(defun main () (aref a 9))",
+                                core::SimMode::Seq),
+                 CompileError);
 }
 
 TEST(MalformedInput, NumberOverflowIsRangeChecked)

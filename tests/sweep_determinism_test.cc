@@ -40,7 +40,11 @@ runTable2(const exp::ExperimentPlan& plan, int jobs,
 TEST(SweepDeterminism, Table2IdenticalAtAnyJobCount)
 {
     const exp::ExperimentPlan plan = exp::table2BaselinePlan();
-    ASSERT_EQ(plan.size(), 18u);  // 4 benchmarks x modes (3 Ideal)
+    // Every registry benchmark in every mode it supports.
+    std::size_t expected = 0;
+    for (const auto& b : benchmarks::all())
+        expected += 4 + (b.hasIdeal() ? 1 : 0);
+    ASSERT_EQ(plan.size(), expected);
 
     exp::CompileCache cache;  // shared: second run must hit
     const exp::SweepResult serial = runTable2(plan, 1, &cache);
