@@ -21,6 +21,12 @@
  * Seed range and program count come from the environment (the
  * harness flag set is closed): PROCOUP_FUZZ_FIRST_SEED and
  * PROCOUP_FUZZ_PROGRAMS, defaulting to 1 and 200.
+ *
+ * PROCOUP_SOAK_JOURNAL=DIR makes the soak durable: it appends
+ * "--journal DIR" to the harness flags, so a killed soak resumes from
+ * its write-ahead journal instead of starting over, and the summary
+ * gains points_replayed / points_executed lines reporting how much of
+ * the sweep was restored versus actually run.
  */
 
 #include <cstdio>
@@ -55,9 +61,20 @@ main(int argc, char** argv)
 
     gen::SoakPlan sp = gen::buildSoakPlan(opts);
 
+    // Durable soak: PROCOUP_SOAK_JOURNAL=DIR injects --journal DIR
+    // without widening the closed harness flag set.
+    std::vector<char*> args(argv, argv + argc);
+    std::string jflag;
+    const char* jdir = std::getenv("PROCOUP_SOAK_JOURNAL");
+    if (jdir != nullptr && *jdir != '\0') {
+        jflag = strCat("--journal=", jdir);
+        args.push_back(jflag.data());
+    }
+
     bool bad = false;
     const int rc = exp::harnessMain(
-        sp.plan, argc, argv, [&](const exp::SweepResult& sweep) {
+        sp.plan, static_cast<int>(args.size()), args.data(),
+        [&](const exp::SweepResult& sweep) {
             std::vector<gen::SoakMismatch> mm =
                 gen::analyzeSoak(sp, sweep);
             int modeBad = 0, faultBad = 0, simBad = 0;
@@ -76,6 +93,13 @@ main(int argc, char** argv)
                             opts.firstSeed + opts.programs - 1));
             std::printf("programs: %d\n", opts.programs);
             std::printf("points: %zu\n", sweep.outcomes.size());
+            if (jdir != nullptr && *jdir != '\0') {
+                std::printf("points_replayed: %zu\n",
+                            sweep.replayedPoints);
+                std::printf("points_executed: %zu\n",
+                            sweep.outcomes.size() -
+                                sweep.replayedPoints);
+            }
             std::printf("wall_ms: %s\n",
                         fixed(sweep.wallMs, 1).c_str());
             std::printf("programs_per_sec: %s\n",

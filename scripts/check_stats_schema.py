@@ -24,6 +24,13 @@ With --bundle FILE, also validates a harness --stats-json bundle
 ("procoup-stats-bundle/1" or "/2"): per-point stats entries get the
 full document check, error records the error-record check.
 
+With --journal-dir DIR, validates a results-journal directory written
+by a --journal sweep (exp/journal.hh): the procoup-journal/1 meta
+sidecar, and every framed record in the .journal/.wal files — frame
+magic, format version, FNV-1a payload checksum, and the JSON
+meta-header (label, fingerprint, threw class, error kind, retries) at
+the head of each record.
+
 Registered as a ctest (stats_schema_check) so `ctest -j` covers it.
 Documented in docs/INTERNALS.md ("Observability").
 """
@@ -68,7 +75,14 @@ ERROR_KINDS = [
     "cycle-limit",
     "wall-clock-deadline",
     "invariant-violation",
+    "worker-crash",
+    "worker-timeout",
 ]
+
+# Results-journal frame constants (src/procoup/exp/serialize.hh).
+FRAME_MAGIC = 0x52464350  # "PCFR"
+FORMAT_VERSION = 1
+FRAME_HEADER = 4 + 4 + 8 + 8
 
 BENCHMARKS = ["Matrix", "FFT", "LUD", "Model"]
 MACHINES = {
@@ -343,6 +357,106 @@ def validate_fuzz(path):
     return 1
 
 
+def fnv1a64(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def iter_frames(label, blob):
+    """Yield frame payloads; flag checksum/magic/version damage."""
+    import struct
+
+    off = 0
+    while off + FRAME_HEADER <= len(blob):
+        magic, version, length = struct.unpack_from("<IIQ", blob, off)
+        (checksum,) = struct.unpack_from("<Q", blob, off + 16)
+        check(magic == FRAME_MAGIC, label,
+              f"bad frame magic {magic:#x} at offset {off}")
+        check(version == FORMAT_VERSION, label,
+              f"bad format version {version} at offset {off}")
+        if magic != FRAME_MAGIC or version != FORMAT_VERSION:
+            return
+        payload = blob[off + FRAME_HEADER:off + FRAME_HEADER + length]
+        if len(payload) < length:
+            return  # torn tail: legal in a .wal, simply ends the file
+        check(fnv1a64(payload) == checksum, label,
+              f"frame checksum mismatch at offset {off}")
+        yield payload
+        off += FRAME_HEADER + length
+
+
+def validate_journal_record(label, payload):
+    """The JSON meta-header leading every binary outcome record."""
+    import struct
+
+    if len(payload) < 8:
+        check(False, label, "record too short for its header")
+        return
+    (hlen,) = struct.unpack_from("<Q", payload, 0)
+    if 8 + hlen > len(payload):
+        check(False, label, "record header overruns the payload")
+        return
+    try:
+        head = json.loads(payload[8:8 + hlen])
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        check(False, label, f"record header is not JSON: {e}")
+        return
+    expect_keys(label, head,
+                {"label": str, "fingerprint": str, "threw": int,
+                 "failed": bool, "error_kind": str, "retries": int,
+                 "compile_cached": bool})
+    if "label" in head:
+        check(len(head["label"]) > 0, label, "record without a label")
+    if "fingerprint" in head:
+        fp = head["fingerprint"]
+        check(len(fp) == 16 and all(c in "0123456789abcdef"
+                                    for c in fp),
+              label, f"malformed point fingerprint '{fp}'")
+    if "threw" in head:
+        check(head["threw"] in (0, 1, 2, 3), label,
+              f"unknown threw class {head['threw']}")
+    if "error_kind" in head:
+        check(head["error_kind"] in ERROR_KINDS, label,
+              f"unknown error kind '{head['error_kind']}'")
+    if "retries" in head:
+        check(head["retries"] >= 0, label, "negative retry count")
+
+
+def validate_journal_dir(path):
+    """A --journal directory: meta sidecars + framed record files."""
+    import glob
+    import os
+
+    n = 0
+    metas = sorted(glob.glob(os.path.join(path, "*.meta.json")))
+    check(len(metas) > 0, path, "no .meta.json sidecar in journal dir")
+    for meta_path in metas:
+        try:
+            meta = json.load(open(meta_path))
+        except (OSError, json.JSONDecodeError) as e:
+            check(False, meta_path, f"unreadable meta sidecar: {e}")
+            continue
+        check(meta.get("schema") == "procoup-journal/1", meta_path,
+              f"bad journal schema '{meta.get('schema')}'")
+        expect_keys(meta_path, meta,
+                    {"plan": str, "fingerprint": str, "points": int})
+
+    record_files = sorted(
+        glob.glob(os.path.join(path, "*.journal")) +
+        glob.glob(os.path.join(path, "*.wal")))
+    check(len(record_files) > 0, path,
+          "no .journal or .wal file in journal dir")
+    for rec_path in record_files:
+        blob = open(rec_path, "rb").read()
+        for k, payload in enumerate(iter_frames(rec_path, blob)):
+            validate_journal_record(f"{rec_path}[{k}]", payload)
+            n += 1
+    check(n > 0, path, "journal contains no records")
+    return n
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--pcsim",
@@ -354,9 +468,13 @@ def main():
     ap.add_argument("--fuzz", action="append", default=[],
                     help="also validate this collect_fuzz.py "
                          "BENCH_fuzz.json (repeatable)")
+    ap.add_argument("--journal-dir", action="append", default=[],
+                    help="also validate this --journal results "
+                         "directory (repeatable)")
     args = ap.parse_args()
-    if not args.pcsim and not args.fuzz:
-        ap.error("--pcsim required (or at least one --fuzz FILE)")
+    if not args.pcsim and not args.fuzz and not args.journal_dir:
+        ap.error("--pcsim required (or at least one --fuzz FILE / "
+                 "--journal-dir DIR)")
 
     n = 0
     for mname, mflags in (MACHINES.items() if args.pcsim else []):
@@ -405,6 +523,8 @@ def main():
         n += validate_bundle(path)
     for path in args.fuzz:
         n += validate_fuzz(path)
+    for path in args.journal_dir:
+        n += validate_journal_dir(path)
 
     if FAILURES:
         for f in FAILURES:

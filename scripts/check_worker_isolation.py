@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Supervised-worker isolation check for --isolate-workers.
+
+Drives a harness binary four ways over the same (filtered) sweep and
+asserts the out-of-process contract:
+
+  * a healthy --isolate-workers run produces a --stats-json bundle
+    and stdout byte-identical to the in-process run;
+  * with PROCOUP_TEST_WORKER_CRASH_LABEL set (a worker hook that
+    _exit(42)s when it picks up that point), the sweep still
+    completes, the poisoned point becomes a structured
+    "worker-crash" error record carrying the exhausted attempt
+    budget, and every healthy point's stats stay bit-identical to
+    the in-process run;
+  * with PROCOUP_TEST_WORKER_HANG_LABEL set (the worker sleeps
+    forever), the point budget (--worker-timeout-ms) converts the
+    hang into a "worker-timeout" record, same guarantees.
+
+Exit status 0 on success; 1 with a FAIL line per violation otherwise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def check(cond, message):
+    if not cond:
+        FAILURES.append(message)
+    return cond
+
+
+def run(harness, flags, env, out_path, label):
+    with open(out_path, "w") as out:
+        proc = subprocess.run([harness] + flags, stdout=out,
+                              stderr=subprocess.DEVNULL, env=env)
+    check(proc.returncode == 0,
+          f"{label}: harness failed rc={proc.returncode}")
+    return proc.returncode == 0
+
+
+def by_label(bundle_path):
+    doc = json.load(open(bundle_path))
+    return {run["label"]: run for run in doc.get("runs", [])}
+
+
+def check_faulted(name, bundle_path, ref_runs, bad_label, kind,
+                  attempts):
+    """One poisoned run: the bad point is a structured record, the
+    rest are bit-identical to the in-process reference."""
+    runs = by_label(bundle_path)
+    check(runs.keys() == ref_runs.keys(),
+          f"{name}: bundle lost or invented points")
+    bad = runs.get(bad_label, {})
+    err = bad.get("error")
+    if check(err is not None,
+             f"{name}: '{bad_label}' has no error record"):
+        check(err.get("kind") == kind,
+              f"{name}: kind '{err.get('kind')}', expected '{kind}'")
+        check(err.get("retries") == attempts - 1,
+              f"{name}: retries {err.get('retries')}, expected "
+              f"{attempts - 1}")
+        check(f"({attempts} attempts)" in err.get("message", ""),
+              f"{name}: message lacks the attempt count: "
+              f"{err.get('message')!r}")
+    for label, ref in ref_runs.items():
+        if label == bad_label:
+            continue
+        check(runs.get(label) == ref,
+              f"{name}: healthy point '{label}' diverged from the "
+              "in-process run")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--harness", required=True,
+                    help="path to a sweep harness binary "
+                         "(e.g. table2_baseline)")
+    ap.add_argument("--filter", default="Matrix",
+                    help="sweep-point filter to keep the check fast")
+    ap.add_argument("--jobs", type=int, default=2)
+    args = ap.parse_args()
+
+    env = dict(os.environ)
+    env.pop("PROCOUP_TEST_WORKER_CRASH_LABEL", None)
+    env.pop("PROCOUP_TEST_WORKER_HANG_LABEL", None)
+    work = tempfile.mkdtemp(prefix="procoup_workiso_")
+    base = ["--filter", args.filter, "--jobs", str(args.jobs)]
+
+    labels = subprocess.run([args.harness, "--list"],
+                            capture_output=True, text=True)
+    victims = [l for l in labels.stdout.split()
+               if args.filter in l]
+    if not check(len(victims) >= 2,
+                 f"--filter {args.filter} matches fewer than two "
+                 "points; pick a wider filter"):
+        return finish()
+
+    # In-process reference and the healthy isolated run.
+    ref_bundle = os.path.join(work, "ref.json")
+    iso_bundle = os.path.join(work, "iso.json")
+    ref_out = os.path.join(work, "ref.out")
+    iso_out = os.path.join(work, "iso.out")
+    if not run(args.harness, base + ["--stats-json", ref_bundle],
+               env, ref_out, "in-process"):
+        return finish()
+    if not run(args.harness,
+               base + ["--isolate-workers", "--stats-json",
+                       iso_bundle],
+               env, iso_out, "isolated"):
+        return finish()
+    check(open(ref_bundle, "rb").read() ==
+          open(iso_bundle, "rb").read(),
+          "healthy --isolate-workers bundle differs from in-process")
+    check(open(ref_out, "rb").read() == open(iso_out, "rb").read(),
+          "healthy --isolate-workers stdout differs from in-process")
+    ref_runs = by_label(ref_bundle)
+
+    # A worker that dies with SIGKILL-grade finality on one point.
+    crash_bundle = os.path.join(work, "crash.json")
+    crash_env = dict(env,
+                     PROCOUP_TEST_WORKER_CRASH_LABEL=victims[0])
+    if run(args.harness,
+           base + ["--isolate-workers", "--retries=1",
+                   "--stats-json", crash_bundle],
+           crash_env, os.path.join(work, "crash.out"), "crash"):
+        check_faulted("crash", crash_bundle, ref_runs, victims[0],
+                      "worker-crash", attempts=2)
+
+    # A worker that hangs forever on one point.
+    hang_bundle = os.path.join(work, "hang.json")
+    hang_env = dict(env, PROCOUP_TEST_WORKER_HANG_LABEL=victims[1])
+    if run(args.harness,
+           base + ["--isolate-workers", "--retries=0",
+                   "--worker-timeout-ms=1000",
+                   "--stats-json", hang_bundle],
+           hang_env, os.path.join(work, "hang.out"), "hang"):
+        check_faulted("hang", hang_bundle, ref_runs, victims[1],
+                      "worker-timeout", attempts=1)
+
+    return finish()
+
+
+def finish():
+    if FAILURES:
+        for f in FAILURES:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("ok: worker isolation — healthy run byte-identical, "
+          "crash and hang became structured records")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "procoup/exp/worker.hh"
 #include "procoup/fault/fault.hh"
 #include "procoup/sched/report.hh"
 #include "procoup/support/error.hh"
@@ -23,7 +24,9 @@ usage(const char* argv0)
         "       [--stats-json FILE] [--sweep-report FILE]\n"
         "       [--no-compile-cache] [--sanitize[=N]]\n"
         "       [--faults=INTENSITY] [--fault-seed=S]\n"
-        "       [--fail-safe] [--retry-faulted]\n"
+        "       [--fail-safe] [--retry-faulted] [--retries=N]\n"
+        "       [--journal DIR] [--disk-cache DIR] [--no-disk-cache]\n"
+        "       [--isolate-workers] [--worker-timeout-ms=N]\n"
         "see src/procoup/exp/harness.hh for flag semantics\n",
         argv0);
     std::exit(1);
@@ -46,6 +49,10 @@ HarnessOptions
 HarnessOptions::parse(int argc, char** argv)
 {
     HarnessOptions o;
+    o.rawArgv.assign(argv, argv + argc);
+    if (const char* env = std::getenv("PROCOUP_DISK_CACHE"))
+        o.diskCacheDir = env;
+    bool no_disk_cache = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -97,10 +104,35 @@ HarnessOptions::parse(int argc, char** argv)
             o.failSafe = true;
         } else if (a == "--retry-faulted") {
             o.retryFaulted = true;
+        } else if (a.rfind("--retries=", 0) == 0) {
+            o.retries = static_cast<int>(
+                std::strtol(a.c_str() + 10, nullptr, 10));
+            if (o.retries < 0)
+                usage(argv[0]);
+        } else if (a == "--journal") {
+            o.journalDir = next();
+        } else if (a.rfind("--journal=", 0) == 0) {
+            o.journalDir = a.substr(10);
+        } else if (a == "--disk-cache") {
+            o.diskCacheDir = next();
+        } else if (a.rfind("--disk-cache=", 0) == 0) {
+            o.diskCacheDir = a.substr(13);
+        } else if (a == "--no-disk-cache") {
+            no_disk_cache = true;
+        } else if (a == "--isolate-workers") {
+            o.isolateWorkers = true;
+        } else if (a.rfind("--worker-timeout-ms=", 0) == 0) {
+            o.workerTimeoutMs = std::strtod(a.c_str() + 20, nullptr);
+            if (o.workerTimeoutMs <= 0.0)
+                usage(argv[0]);
+        } else if (a == "--worker") {
+            o.workerMode = true;
         } else {
             usage(argv[0]);
         }
     }
+    if (no_disk_cache)
+        o.diskCacheDir.clear();
     return o;
 }
 
@@ -157,6 +189,25 @@ formatSweepReport(const ExperimentPlan& plan, const SweepResult& result,
         ", \"misses\": ", result.cacheStats.misses,
         ", \"hit_rate\": ", fixed(result.cacheStats.hitRate(), 4),
         "}");
+    // Crash-safety blocks appear only when their flag is on, keeping
+    // existing sweep reports byte-identical.
+    if (!options.diskCacheDir.empty())
+        s += strCat(",\n\"disk_cache\": {\"dir\": ",
+                    jsonQuote(options.diskCacheDir),
+                    ", \"compiles\": ", result.cacheStats.compiles,
+                    ", \"hits\": ", result.cacheStats.diskHits,
+                    ", \"stores\": ", result.cacheStats.diskStores,
+                    ", \"corrupt\": ", result.cacheStats.diskCorrupt,
+                    "}");
+    if (!options.journalDir.empty())
+        s += strCat(",\n\"journal\": {\"dir\": ",
+                    jsonQuote(options.journalDir), ", \"replayed\": ",
+                    result.replayedPoints, ", \"executed\": ",
+                    result.outcomes.size() - result.replayedPoints,
+                    ", \"compiles\": ", result.cacheStats.compiles,
+                    "}");
+    if (options.isolateWorkers)
+        s += ",\n\"isolate_workers\": true";
     if (failed) {
         s += strCat(",\n\"failed_points\": ", failed,
                     ",\n\"failures\": [");
@@ -212,7 +263,17 @@ runHarness(const ExperimentPlan& plan, const HarnessOptions& options,
     ropts.jobs = options.jobs;
     ropts.cacheEnabled = options.compileCache;
     ropts.failSafe = options.failSafe;
-    ropts.retryFaultedOnce = options.retryFaulted;
+    ropts.retryFaulted = options.retryFaulted;
+    ropts.retryPolicy.maxAttempts = options.retries + 1;
+    ropts.journalDir = options.journalDir;
+    ropts.diskCacheDir = options.diskCacheDir;
+    ropts.isolateWorkers = options.isolateWorkers;
+    ropts.workerSpawnArgv = options.rawArgv;
+    ropts.workerTimeoutMs = options.workerTimeoutMs;
+
+    if (options.workerMode)
+        runWorkerLoop(to_run, ropts);  // serves points; never returns
+
     SweepRunner runner(ropts);
     const SweepResult result = runner.run(to_run);
 

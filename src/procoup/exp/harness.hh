@@ -36,15 +36,37 @@
  *                       (deadlock, budget, sanitizer) as a structured
  *                       error record and keep the sweep running
  *   --retry-faulted     with --fail-safe: retry a failed faulted
- *                       point once under a reseeded fault plan
+ *                       point under reseeded fault plans, bounded by
+ *                       --retries with exponential backoff + jitter
+ *   --retries=N         retry budget shared by --retry-faulted and
+ *                       worker respawns (default 2)
+ *   --journal DIR       write-ahead results journal: every completed
+ *                       point is durably recorded in DIR; re-running
+ *                       after a crash replays recorded points
+ *                       bit-identically and executes only the rest
+ *   --disk-cache DIR    persistent compile cache shared across
+ *                       processes and runs (default: the
+ *                       PROCOUP_DISK_CACHE environment variable)
+ *   --no-disk-cache     ignore --disk-cache and PROCOUP_DISK_CACHE
+ *   --isolate-workers   shard points across supervised child
+ *                       processes; a crashed or hung child becomes a
+ *                       worker-crash / worker-timeout error record
+ *   --worker-timeout-ms=N  per-point wall-clock budget under
+ *                       --isolate-workers (default 120000)
+ *
+ * (A hidden --worker flag turns the process into a point server for
+ * --isolate-workers; it is appended by the supervisor, never typed.)
  *
  * Output determinism: the rendering callback runs after the sweep
  * completes, over outcomes in plan order, so harness output is
- * byte-identical at any --jobs count.
+ * byte-identical at any --jobs count — and, for journaled sweeps, at
+ * any interruption point. New report/bundle keys appear only when the
+ * corresponding flag is on, so existing outputs stay byte-identical.
  */
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "procoup/exp/plan.hh"
 #include "procoup/exp/runner.hh"
@@ -71,6 +93,26 @@ struct HarnessOptions
 
     bool failSafe = false;
     bool retryFaulted = false;
+
+    /** Retry budget (--retries): attempts beyond the first for both
+     *  reseeded-fault retries and worker respawns. */
+    int retries = 2;
+
+    /** --journal DIR ("" = no journal). */
+    std::string journalDir;
+
+    /** --disk-cache DIR / $PROCOUP_DISK_CACHE ("" = memory only). */
+    std::string diskCacheDir;
+
+    bool isolateWorkers = false;
+    double workerTimeoutMs = 120000.0;
+
+    /** Hidden --worker: serve points for a supervisor and exit. */
+    bool workerMode = false;
+
+    /** The argv this process was started with (verbatim): what the
+     *  worker supervisor re-executes, plus "--worker". */
+    std::vector<std::string> rawArgv;
 
     /**
      * Parse the common flags from argv (exits with usage on a

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/exp/journal.hh"
+#include "procoup/exp/worker.hh"
 #include "procoup/support/error.hh"
 #include "procoup/support/strings.hh"
 
@@ -45,7 +47,7 @@ SweepResult::failedCount() const
 }
 
 SweepRunner::SweepRunner(RunnerOptions options)
-    : _options(options)
+    : _options(std::move(options))
 {
     if (_options.cache) {
         _cache = _options.cache;
@@ -54,6 +56,8 @@ SweepRunner::SweepRunner(RunnerOptions options)
         _cache = _ownedCache.get();
     }
     _cache->setEnabled(_options.cacheEnabled);
+    if (!_options.diskCacheDir.empty() && _options.cacheEnabled)
+        _cache->setDiskDir(_options.diskCacheDir);
 }
 
 int
@@ -66,14 +70,15 @@ SweepRunner::resolveJobs(int requested)
 }
 
 RunOutcome
-SweepRunner::execute(const SweepPoint& point)
+executeSweepPoint(const SweepPoint& point, CompileCache& cache,
+                  const RunnerOptions& options)
 {
     const auto start = std::chrono::steady_clock::now();
     RunOutcome out;
     out.point = &point;
 
-    auto compiled = _cache->compile(point.source, point.machine,
-                                    point.options, &out.compileCached);
+    auto compiled = cache.compile(point.source, point.machine,
+                                  point.options, &out.compileCached);
 
     core::CoupledNode node(point.machine);
     auto run_and_verify = [&](const sim::SimOptions& sim_opts) {
@@ -93,25 +98,36 @@ SweepRunner::execute(const SweepPoint& point)
     try {
         run_and_verify(point.simOptions);
     } catch (const SimError& e) {
-        if (!_options.failSafe)
+        if (!options.failSafe)
             throw;
         // Graceful degradation: this point becomes a structured error
-        // record; the pool and every other point are unaffected. One
-        // optional retry under a reseeded fault plan distinguishes
-        // "this fault schedule was unlucky" from a real failure — but
-        // the *first* error is what gets recorded, so the record stays
-        // deterministic.
+        // record; the pool and every other point are unaffected.
+        // Bounded retries under reseeded fault plans distinguish "this
+        // fault schedule was unlucky" from a real failure — but the
+        // *first* error is what gets recorded, so the record stays
+        // deterministic. Backoff delays are jittered deterministically
+        // from the point label so parallel retriers do not stampede.
         bool recovered = false;
-        if (_options.retryFaultedOnce && point.simOptions.faults.enabled) {
-            out.retries = 1;
-            sim::SimOptions retry_opts = point.simOptions;
-            retry_opts.faults = retry_opts.faults.reseeded(
-                point.simOptions.faults.seed * 0x9e3779b97f4a7c15ull +
-                1);
-            try {
-                run_and_verify(retry_opts);
-                recovered = true;
-            } catch (const SimError&) {
+        if (options.retryFaulted && point.simOptions.faults.enabled) {
+            const std::uint64_t jitter_seed = fnv1a64(point.label);
+            const int budget = options.retryPolicy.maxRetries();
+            for (int retry = 1; retry <= budget && !recovered;
+                 ++retry) {
+                out.retries = retry;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        options.retryPolicy.delayMs(jitter_seed,
+                                                    retry)));
+                sim::SimOptions retry_opts = point.simOptions;
+                retry_opts.faults = retry_opts.faults.reseeded(
+                    point.simOptions.faults.seed *
+                        0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(retry));
+                try {
+                    run_and_verify(retry_opts);
+                    recovered = true;
+                } catch (const SimError&) {
+                }
             }
         }
         if (!recovered) {
@@ -126,6 +142,51 @@ SweepRunner::execute(const SweepPoint& point)
     return out;
 }
 
+OutcomeRecord
+makeOutcomeRecord(const RunOutcome& o, const std::string& fingerprint)
+{
+    OutcomeRecord rec;
+    rec.label = o.point ? o.point->label : "";
+    rec.pointFingerprint = fingerprint;
+    rec.failed = o.failed;
+    rec.errorKind = static_cast<std::uint8_t>(o.errorKind);
+    rec.errorCycle = o.errorCycle;
+    rec.error = o.error;
+    rec.retries = static_cast<std::uint32_t>(o.retries);
+    rec.compileCached = o.compileCached;
+    rec.wallMs = o.wallMs;
+    if (!o.failed) {
+        rec.stats = o.result.stats;
+        rec.memory = o.result.memory;
+        rec.symbols = o.result.compiled.program.symbols;
+        rec.memorySize = o.result.compiled.program.memorySize;
+        rec.funcInfo = o.result.compiled.funcInfo;
+    }
+    return rec;
+}
+
+RunOutcome
+makeRunOutcome(const OutcomeRecord& rec, const SweepPoint* point)
+{
+    RunOutcome o;
+    o.point = point;
+    o.failed = rec.failed;
+    o.errorKind = static_cast<SimErrorKind>(rec.errorKind);
+    o.errorCycle = rec.errorCycle;
+    o.error = rec.error;
+    o.retries = static_cast<int>(rec.retries);
+    o.compileCached = rec.compileCached;
+    o.wallMs = rec.wallMs;
+    if (!rec.failed) {
+        o.result.stats = rec.stats;
+        o.result.memory = rec.memory;
+        o.result.compiled.program.symbols = rec.symbols;
+        o.result.compiled.program.memorySize = rec.memorySize;
+        o.result.compiled.funcInfo = rec.funcInfo;
+    }
+    return o;
+}
+
 SweepResult
 SweepRunner::run(const ExperimentPlan& plan)
 {
@@ -137,32 +198,110 @@ SweepRunner::run(const ExperimentPlan& plan)
     res.outcomes.resize(plan.size());
     std::vector<std::exception_ptr> failures(plan.size());
 
+    // ---- Journal: replay recorded points, execute the rest. A point
+    // with a tracer attached never replays (tracing is an
+    // observational side effect a replay cannot reproduce).
+    ResultsJournal journal;
+    const bool journal_on = !_options.journalDir.empty() &&
+                            journal.open(_options.journalDir, plan);
+    if (!_options.journalDir.empty() && !journal_on)
+        std::fprintf(stderr,
+                     "warning: cannot open results journal in %s; "
+                     "running without one\n",
+                     _options.journalDir.c_str());
+
+    std::vector<std::string> fps(plan.size());
+    std::vector<std::size_t> pending;
+    pending.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const SweepPoint& p = plan.points()[i];
+        if (journal_on && !p.tracer) {
+            fps[i] = pointFingerprint(p);
+            if (const OutcomeRecord* rec = journal.find(fps[i])) {
+                res.outcomes[i] = makeRunOutcome(*rec, &p);
+                res.outcomes[i].replayed = true;
+                ++res.replayedPoints;
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+
+    // Called for every freshly executed point, on whichever thread
+    // finished it (append is thread-safe). Verify failures are *not*
+    // journaled: they must re-execute (and re-fail) on resume.
+    auto record = [&](std::size_t i) {
+        const RunOutcome& o = res.outcomes[i];
+        if (!journal_on || fps[i].empty())
+            return;
+        if (!o.error.empty() && !o.failed)
+            return;
+        journal.append(makeOutcomeRecord(o, fps[i]));
+    };
+
     auto work = [&](std::size_t i) {
         try {
-            res.outcomes[i] = execute(plan.points()[i]);
+            res.outcomes[i] =
+                executeSweepPoint(plan.points()[i], *_cache, _options);
+            record(i);
         } catch (...) {
             failures[i] = std::current_exception();
         }
     };
 
-    if (res.jobs <= 1 || plan.size() <= 1) {
-        // Inline: exactly the legacy serial loop, same thread.
-        for (std::size_t i = 0; i < plan.size(); ++i)
-            work(i);
-    } else {
-        std::atomic<std::size_t> next{0};
-        const int workers =
-            std::min<std::size_t>(res.jobs, plan.size());
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (int w = 0; w < workers; ++w)
-            pool.emplace_back([&] {
-                for (std::size_t i = next.fetch_add(1);
-                     i < plan.size(); i = next.fetch_add(1))
-                    work(i);
-            });
-        for (auto& t : pool)
-            t.join();
+    // ---- Worker isolation: shard pending points across supervised
+    // child processes. Tracer-carrying points stay in this process
+    // (their sink lives here); if not a single child can be spawned,
+    // fall through to the in-process pool.
+    bool ran_isolated = false;
+    if (_options.isolateWorkers && !_options.workerSpawnArgv.empty() &&
+        !pending.empty()) {
+        std::vector<std::size_t> isolatable;
+        std::vector<std::size_t> local;
+        for (std::size_t i : pending)
+            (plan.points()[i].tracer ? local : isolatable).push_back(i);
+
+        WorkerSupervisor sup(plan, _options, *_cache);
+        const int workers = static_cast<int>(std::min<std::size_t>(
+            res.jobs, isolatable.empty() ? 1 : isolatable.size()));
+        if (isolatable.empty() ||
+            sup.run(
+                isolatable, workers,
+                [&](std::size_t i, RunOutcome&& o) {
+                    res.outcomes[i] = std::move(o);
+                    record(i);
+                },
+                failures)) {
+            ran_isolated = true;
+            for (std::size_t i : local)
+                work(i);
+        } else {
+            std::fprintf(stderr,
+                         "warning: --isolate-workers could not spawn "
+                         "any worker process; running in-process\n");
+        }
+    }
+
+    if (!ran_isolated) {
+        if (res.jobs <= 1 || pending.size() <= 1) {
+            // Inline: exactly the legacy serial loop, same thread.
+            for (std::size_t i : pending)
+                work(i);
+        } else {
+            std::atomic<std::size_t> next{0};
+            const int workers =
+                std::min<std::size_t>(res.jobs, pending.size());
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (int w = 0; w < workers; ++w)
+                pool.emplace_back([&] {
+                    for (std::size_t n = next.fetch_add(1);
+                         n < pending.size(); n = next.fetch_add(1))
+                        work(pending[n]);
+                });
+            for (auto& t : pool)
+                t.join();
+        }
     }
 
     // Deterministic reduction: failures surface in plan order.
@@ -182,9 +321,23 @@ SweepRunner::run(const ExperimentPlan& plan)
     if (verify_failed && _options.exitOnVerifyFailure)
         std::exit(1);
 
+    // Every journalable point has a record now (we only get here with
+    // no exceptions, and verify failures stay unjournaled on purpose):
+    // publish the finalized journal.
+    if (journal_on && !verify_failed)
+        journal.finalize();
+
     const auto cache_after = _cache->stats();
     res.cacheStats.hits = cache_after.hits - cache_before.hits;
     res.cacheStats.misses = cache_after.misses - cache_before.misses;
+    res.cacheStats.compiles =
+        cache_after.compiles - cache_before.compiles;
+    res.cacheStats.diskHits =
+        cache_after.diskHits - cache_before.diskHits;
+    res.cacheStats.diskStores =
+        cache_after.diskStores - cache_before.diskStores;
+    res.cacheStats.diskCorrupt =
+        cache_after.diskCorrupt - cache_before.diskCorrupt;
     res.wallMs = msSince(start);
     return res;
 }

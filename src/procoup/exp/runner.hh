@@ -3,7 +3,7 @@
 
 /**
  * @file
- * Parallel, compile-cached execution of an ExperimentPlan.
+ * Parallel, compile-cached, crash-safe execution of an ExperimentPlan.
  *
  * The SweepRunner executes every point of a plan on a pool of
  * std::thread workers (--jobs N; jobs=1 runs everything inline on the
@@ -24,6 +24,19 @@
  * they are collected and reported on stderr in plan order after the
  * pool drains, and the process exits 1 (the same observable contract
  * the serial harnesses had).
+ *
+ * Durability (journalDir): each completed point is appended to a
+ * write-ahead results journal (exp/journal.hh) before the sweep moves
+ * on; re-running an interrupted sweep replays the recorded points
+ * bit-identically — no recompile, no re-simulation — and executes
+ * only the remainder. Verify-failed points are deliberately not
+ * journaled: they re-execute on resume so the failure reproduces.
+ *
+ * Isolation (isolateWorkers): pending points are sharded across
+ * supervised child processes (exp/worker.hh); a crashed or hung child
+ * becomes a structured error record (worker-crash / worker-timeout)
+ * after bounded, jittered respawn retries instead of taking the sweep
+ * down with it.
  */
 
 #include <cstdint>
@@ -32,8 +45,10 @@
 #include <vector>
 
 #include "procoup/core/node.hh"
+#include "procoup/exp/backoff.hh"
 #include "procoup/exp/cache.hh"
 #include "procoup/exp/plan.hh"
+#include "procoup/exp/serialize.hh"
 #include "procoup/support/error.hh"
 
 namespace procoup {
@@ -66,10 +81,30 @@ struct RunnerOptions
      */
     bool failSafe = false;
 
-    /** Under failSafe: retry a failed point once with its fault plan
-     *  reseeded before recording the failure (points without a fault
-     *  plan are never retried — their failures are deterministic). */
-    bool retryFaultedOnce = false;
+    /** Under failSafe: retry a failed point under reseeded fault
+     *  plans, bounded and backed off by retryPolicy, before recording
+     *  the failure (points without a fault plan are never retried —
+     *  their failures are deterministic). */
+    bool retryFaulted = false;
+
+    /** Backoff shared by --retry-faulted and worker respawns. */
+    RetryPolicy retryPolicy;
+
+    /** Write-ahead results journal directory ("" = no journal). */
+    std::string journalDir;
+
+    /** Persistent compile cache directory ("" = in-memory only). */
+    std::string diskCacheDir;
+
+    /** Shard points across supervised child processes. Requires
+     *  workerSpawnArgv (the argv re-executing this binary; the hidden
+     *  --worker flag is appended by the supervisor). */
+    bool isolateWorkers = false;
+    std::vector<std::string> workerSpawnArgv;
+
+    /** Per-point wall-clock budget under isolateWorkers; a child
+     *  exceeding it is killed and the point retried per retryPolicy. */
+    double workerTimeoutMs = 120000.0;
 };
 
 /** What one executed sweep point produced. */
@@ -84,16 +119,23 @@ struct RunOutcome
     std::string error;
 
     /** The simulation threw SimError and failSafe captured it; result
-     *  is empty and errorKind/errorCycle/error describe the failure. */
+     *  is empty and errorKind/errorCycle/error describe the failure.
+     *  Worker crashes and timeouts land here too (WorkerCrash /
+     *  WorkerTimeout kinds), independent of failSafe — isolation
+     *  exists precisely to turn a dead process into data. */
     bool failed = false;
     SimErrorKind errorKind = SimErrorKind::Runtime;
     std::uint64_t errorCycle = 0;
 
-    /** Reseeded-fault-plan retries attempted (0 or 1). */
+    /** Attempts beyond the first: reseeded-fault-plan retries, plus
+     *  worker respawns the supervisor spent on this point. */
     int retries = 0;
 
-    /** This point's compile was served from the cache. */
+    /** This point's compile was served from a cache tier. */
     bool compileCached = false;
+
+    /** Restored from the results journal; nothing re-executed. */
+    bool replayed = false;
 
     /** Wall-clock this point took (compile + simulate + verify). */
     double wallMs = 0.0;
@@ -107,12 +149,34 @@ struct SweepResult
     double wallMs = 0.0;  ///< whole-sweep wall-clock
     int jobs = 1;         ///< resolved worker count
 
+    /** Points restored from the journal instead of executed. */
+    std::size_t replayedPoints = 0;
+
     /** Outcome of the point labeled @p label. @throws if absent */
     const RunOutcome& at(const std::string& label) const;
 
     /** Points whose simulation failed (fail-safe mode only). */
     std::size_t failedCount() const;
 };
+
+/**
+ * Execute one point exactly as SweepRunner does: compile via
+ * @p cache, simulate, verify, fail-safe capture with bounded
+ * reseeded-fault retries. Exposed so worker children (exp/worker.hh)
+ * run the identical path — byte-identical outcomes are the contract.
+ */
+RunOutcome executeSweepPoint(const SweepPoint& point, CompileCache& cache,
+                             const RunnerOptions& options);
+
+/** Persistable snapshot of @p outcome (journal & worker protocol). */
+OutcomeRecord makeOutcomeRecord(const RunOutcome& outcome,
+                                const std::string& fingerprint);
+
+/** Rehydrate an outcome for @p point from @p rec. Restores stats,
+ *  memory, symbols, and schedule metadata — everything the render,
+ *  report, and analysis paths read — but not the instruction stream. */
+RunOutcome makeRunOutcome(const OutcomeRecord& rec,
+                          const SweepPoint* point);
 
 class SweepRunner
 {
@@ -131,8 +195,6 @@ class SweepRunner
     static int resolveJobs(int requested);
 
   private:
-    RunOutcome execute(const SweepPoint& point);
-
     RunnerOptions _options;
     std::unique_ptr<CompileCache> _ownedCache;
     CompileCache* _cache;

@@ -1,0 +1,494 @@
+#include "procoup/exp/worker.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "procoup/exp/journal.hh"
+#include "procoup/support/error.hh"
+#include "procoup/support/strings.hh"
+
+namespace procoup {
+namespace exp {
+
+namespace {
+
+/** Write all of @p bytes to @p fd; false on any error (e.g. EPIPE
+ *  because the peer died — SIGPIPE is ignored, see below). */
+bool
+writeAll(int fd, const void* data, std::size_t len)
+{
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+enum class FrameRead
+{
+    Ok,
+    Timeout,
+    Closed  ///< EOF, read error, or a corrupt frame — a dead worker
+};
+
+/** Read exactly one protocol frame from @p fd within @p timeoutMs. */
+FrameRead
+readFrameFromFd(int fd, double timeout_ms, std::string* payload)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(timeout_ms);
+    std::string buf;
+    std::size_t want = kFrameHeaderSize;
+
+    for (;;) {
+        if (buf.size() >= want && want > kFrameHeaderSize) {
+            std::size_t offset = 0;
+            // Full frame buffered: checksum + version validation.
+            return readFrame(buf, offset, payload) ? FrameRead::Ok
+                                                   : FrameRead::Closed;
+        }
+        if (buf.size() >= kFrameHeaderSize &&
+            want == kFrameHeaderSize) {
+            std::uint32_t magic, version;
+            std::uint64_t len;
+            std::memcpy(&magic, buf.data(), 4);
+            std::memcpy(&version, buf.data() + 4, 4);
+            std::memcpy(&len, buf.data() + 8, 8);
+            if (magic != kFrameMagic || version != kFormatVersion ||
+                len > (1ull << 30))
+                return FrameRead::Closed;  // garbage on the pipe
+            want = kFrameHeaderSize + static_cast<std::size_t>(len);
+            continue;
+        }
+
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        if (remaining.count() <= 0)
+            return FrameRead::Timeout;
+
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int pr = ::poll(
+            &pfd, 1, static_cast<int>(remaining.count()) + 1);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameRead::Closed;
+        }
+        if (pr == 0)
+            return FrameRead::Timeout;
+
+        char chunk[65536];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameRead::Closed;
+        }
+        if (n == 0)
+            return FrameRead::Closed;  // EOF: the worker died
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::string
+describeExit(int status)
+{
+    if (WIFEXITED(status))
+        return strCat("exited with status ", WEXITSTATUS(status));
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        const char* name = strsignal(sig);
+        return strCat("killed by signal ", sig, " (",
+                      name ? name : "?", ")");
+    }
+    return "stopped abnormally";
+}
+
+/** Move @p fd to @p target, leaving target's CLOEXEC clear. */
+void
+installFd(int fd, int target)
+{
+    if (fd == target) {
+        const int flags = ::fcntl(fd, F_GETFD);
+        if (flags >= 0)
+            ::fcntl(fd, F_SETFD, flags & ~FD_CLOEXEC);
+        return;
+    }
+    ::dup2(fd, target);
+}
+
+} // namespace
+
+struct WorkerSupervisor::Child
+{
+    pid_t pid = -1;
+    int cmdFd = -1;  ///< supervisor's write end
+    int resFd = -1;  ///< supervisor's read end
+
+    bool alive() const { return pid > 0; }
+
+    void closeFds()
+    {
+        if (cmdFd >= 0)
+            ::close(cmdFd);
+        if (resFd >= 0)
+            ::close(resFd);
+        cmdFd = resFd = -1;
+    }
+
+    /** SIGKILL (harmless if already dead) and reap. */
+    void destroy()
+    {
+        if (!alive()) {
+            closeFds();
+            return;
+        }
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        pid = -1;
+        closeFds();
+    }
+
+    /** Reap a child that closed its pipe; returns the exit status
+     *  description. Escalates to SIGKILL if it lingers. */
+    std::string reap()
+    {
+        if (!alive()) {
+            closeFds();
+            return "already dead";
+        }
+        int status = 0;
+        for (int spin = 0; spin < 100; ++spin) {
+            const pid_t r = ::waitpid(pid, &status, WNOHANG);
+            if (r == pid) {
+                pid = -1;
+                closeFds();
+                return describeExit(status);
+            }
+            if (r < 0 && errno != EINTR)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        ::kill(pid, SIGKILL);
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        pid = -1;
+        closeFds();
+        return "hung after closing its pipe";
+    }
+};
+
+WorkerSupervisor::WorkerSupervisor(const ExperimentPlan& plan,
+                                   const RunnerOptions& options,
+                                   CompileCache& cache)
+    : _plan(plan), _options(options), _cache(cache)
+{
+}
+
+bool
+WorkerSupervisor::spawn(Child& child) const
+{
+    int cmd[2] = {-1, -1};
+    int res[2] = {-1, -1};
+    if (::pipe(cmd) != 0)
+        return false;
+    if (::pipe(res) != 0) {
+        ::close(cmd[0]);
+        ::close(cmd[1]);
+        return false;
+    }
+
+    std::vector<std::string> argv = _options.workerSpawnArgv;
+    argv.push_back("--worker");
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (auto& a : argv)
+        cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(cmd[0]);
+        ::close(cmd[1]);
+        ::close(res[0]);
+        ::close(res[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Child. Install the protocol fds, drop the parent's ends,
+        // and become a worker via exec of the original argv. The fd
+        // dance guards against a pipe end already occupying 3 or 4.
+        ::close(cmd[1]);
+        ::close(res[0]);
+        if (res[1] == kWorkerCmdFd)
+            res[1] = ::dup(res[1]);
+        installFd(cmd[0], kWorkerCmdFd);
+        if (cmd[0] != kWorkerCmdFd && cmd[0] != kWorkerResFd)
+            ::close(cmd[0]);
+        installFd(res[1], kWorkerResFd);
+        if (res[1] != kWorkerCmdFd && res[1] != kWorkerResFd)
+            ::close(res[1]);
+        // Re-exec this very image: /proc/self/exe survives relative
+        // argv[0] and cwd changes; fall back to argv[0] off procfs.
+        ::execv("/proc/self/exe", cargv.data());
+        ::execv(cargv[0], cargv.data());
+        _exit(127);  // exec failed; the supervisor sees EOF + status
+    }
+
+    ::close(cmd[0]);
+    ::close(res[1]);
+    ::fcntl(cmd[1], F_SETFD, FD_CLOEXEC);
+    ::fcntl(res[0], F_SETFD, FD_CLOEXEC);
+    child.pid = pid;
+    child.cmdFd = cmd[1];
+    child.resFd = res[0];
+    return true;
+}
+
+RunOutcome
+WorkerSupervisor::supervisePoint(Child& child, std::size_t index,
+                                 std::exception_ptr* rethrow) const
+{
+    const SweepPoint& point = _plan.points()[index];
+    const std::uint64_t jitter_seed = fnv1a64(point.label);
+    const int budget = _options.retryPolicy.maxRetries();
+
+    SimErrorKind last_kind = SimErrorKind::WorkerCrash;
+    std::string last_desc = "never started";
+
+    for (int attempt = 0; attempt <= budget; ++attempt) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    _options.retryPolicy.delayMs(jitter_seed,
+                                                 attempt)));
+        if (!child.alive() && !spawn(child)) {
+            // Cannot respawn at all (fork/pipe exhaustion): degrade
+            // gracefully to in-process execution of this point.
+            try {
+                RunOutcome out =
+                    executeSweepPoint(point, _cache, _options);
+                out.retries += attempt;
+                return out;
+            } catch (...) {
+                *rethrow = std::current_exception();
+                return RunOutcome{};
+            }
+        }
+
+        const std::string cmd = strCat("R ", index, "\n");
+        if (!writeAll(child.cmdFd, cmd.data(), cmd.size())) {
+            last_kind = SimErrorKind::WorkerCrash;
+            last_desc = child.reap();
+            continue;
+        }
+
+        std::string payload;
+        const FrameRead fr = readFrameFromFd(
+            child.resFd, _options.workerTimeoutMs, &payload);
+        if (fr == FrameRead::Ok) {
+            OutcomeRecord rec;
+            if (decodeOutcomeRecord(payload, &rec)) {
+                if (rec.threw != 0) {
+                    // The worker hit an exception it would have
+                    // propagated in-process; recreate it so plan-order
+                    // rethrow semantics survive the process boundary.
+                    if (rec.threw == 1)
+                        *rethrow = std::make_exception_ptr(SimError(
+                            static_cast<SimErrorKind>(rec.errorKind),
+                            rec.errorCycle, rec.error));
+                    else if (rec.threw == 2)
+                        *rethrow = std::make_exception_ptr(
+                            CompileError(rec.error));
+                    else
+                        *rethrow = std::make_exception_ptr(
+                            std::runtime_error(rec.error));
+                    return RunOutcome{};
+                }
+                RunOutcome out = makeRunOutcome(rec, &point);
+                out.retries += attempt;
+                return out;
+            }
+            last_kind = SimErrorKind::WorkerCrash;
+            last_desc = "returned an undecodable record";
+            child.destroy();
+            continue;
+        }
+        if (fr == FrameRead::Timeout) {
+            last_kind = SimErrorKind::WorkerTimeout;
+            last_desc = strCat("exceeded the ",
+                               _options.workerTimeoutMs,
+                               " ms point budget and was killed");
+            child.destroy();
+            continue;
+        }
+        last_kind = SimErrorKind::WorkerCrash;
+        last_desc = child.reap();
+    }
+
+    // Retries exhausted: the point becomes a structured error record
+    // (always — isolation converts dead processes into data even when
+    // fail-safe is off; that is its entire purpose).
+    RunOutcome out;
+    out.point = &point;
+    out.failed = true;
+    out.errorKind = last_kind;
+    out.errorCycle = 0;
+    out.error = strCat("worker executing '", point.label, "' ",
+                       last_desc, " (", budget + 1, " attempts)");
+    out.retries = budget;
+    return out;
+}
+
+bool
+WorkerSupervisor::run(
+    const std::vector<std::size_t>& indices, int workers,
+    const std::function<void(std::size_t, RunOutcome&&)>& done,
+    std::vector<std::exception_ptr>& failures)
+{
+    if (indices.empty())
+        return true;
+
+    // A worker death must surface as an error record, not kill the
+    // supervisor with SIGPIPE on the next command write.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    // Probe spawn: if not even one child comes up (binary missing,
+    // fork refused), report failure so the runner falls back wholesale
+    // to in-process execution.
+    Child probe;
+    if (!spawn(probe))
+        return false;
+
+    if (workers < 1)
+        workers = 1;
+    workers = static_cast<int>(
+        std::min<std::size_t>(workers, indices.size()));
+
+    std::atomic<std::size_t> next{0};
+    auto drive = [&](Child child) {
+        for (std::size_t n = next.fetch_add(1); n < indices.size();
+             n = next.fetch_add(1)) {
+            const std::size_t index = indices[n];
+            std::exception_ptr rethrow;
+            RunOutcome out = supervisePoint(child, index, &rethrow);
+            if (rethrow)
+                failures[index] = rethrow;
+            else
+                done(index, std::move(out));
+        }
+        if (child.alive()) {
+            writeAll(child.cmdFd, "Q\n", 2);
+            child.destroy();  // reaps; Q makes exit prompt
+        }
+    };
+
+    if (workers <= 1) {
+        drive(probe);
+        return true;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    pool.emplace_back([&, probe] { drive(probe); });
+    for (int w = 1; w < workers; ++w)
+        pool.emplace_back([&] { drive(Child{}); });  // lazily spawned
+    for (auto& t : pool)
+        t.join();
+    return true;
+}
+
+void
+runWorkerLoop(const ExperimentPlan& plan, const RunnerOptions& options)
+{
+    CompileCache cache;
+    cache.setEnabled(options.cacheEnabled);
+    if (!options.diskCacheDir.empty() && options.cacheEnabled)
+        cache.setDiskDir(options.diskCacheDir);
+
+    // Worker-side options: no journal, no nested isolation — the
+    // supervisor owns both.
+    RunnerOptions wopts = options;
+    wopts.journalDir.clear();
+    wopts.isolateWorkers = false;
+
+    // Test hooks (chaos coverage): make the worker crash or hang on a
+    // chosen point label, from outside, without touching the sweep.
+    const char* crash_label =
+        std::getenv("PROCOUP_TEST_WORKER_CRASH_LABEL");
+    const char* hang_label =
+        std::getenv("PROCOUP_TEST_WORKER_HANG_LABEL");
+
+    std::FILE* in = ::fdopen(kWorkerCmdFd, "r");
+    if (!in)
+        _exit(125);
+
+    char line[64];
+    while (std::fgets(line, sizeof line, in)) {
+        if (line[0] == 'Q')
+            break;
+        if (line[0] != 'R')
+            _exit(125);  // protocol violation
+        const std::size_t index = static_cast<std::size_t>(
+            std::strtoull(line + 1, nullptr, 10));
+        if (index >= plan.size())
+            _exit(125);
+        const SweepPoint& point = plan.points()[index];
+
+        if (crash_label && point.label == crash_label)
+            _exit(42);
+        if (hang_label && point.label == hang_label)
+            for (;;)
+                std::this_thread::sleep_for(
+                    std::chrono::seconds(3600));
+
+        OutcomeRecord rec;
+        rec.label = point.label;
+        rec.pointFingerprint = pointFingerprint(point);
+        try {
+            const RunOutcome out =
+                executeSweepPoint(point, cache, wopts);
+            rec = makeOutcomeRecord(out, rec.pointFingerprint);
+        } catch (const SimError& e) {
+            rec.threw = 1;
+            rec.errorKind = static_cast<std::uint8_t>(e.kind());
+            rec.errorCycle = e.cycle();
+            rec.error = e.what();
+        } catch (const CompileError& e) {
+            rec.threw = 2;
+            rec.error = e.what();
+        } catch (const std::exception& e) {
+            rec.threw = 3;
+            rec.error = e.what();
+        }
+
+        const std::string framed = frame(encodeOutcomeRecord(rec));
+        if (!writeAll(kWorkerResFd, framed.data(), framed.size()))
+            _exit(125);  // supervisor is gone
+    }
+    _exit(0);
+}
+
+} // namespace exp
+} // namespace procoup

@@ -1,0 +1,96 @@
+#ifndef PROCOUP_EXP_WORKER_HH
+#define PROCOUP_EXP_WORKER_HH
+
+/**
+ * @file
+ * Out-of-process sweep workers: fault isolation for --isolate-workers.
+ *
+ * A harness run with --isolate-workers shards its pending points
+ * across supervised child processes instead of in-process threads. A
+ * child is the *same* binary re-executed with the original argv plus
+ * the hidden --worker flag: it rebuilds the identical (filtered,
+ * fault/sanitize-tuned) plan from its command line, then serves
+ * points over two inherited pipes —
+ *
+ *     fd 3 (supervisor -> worker): "R <index>\n" run one point,
+ *                                  "Q\n" exit
+ *     fd 4 (worker -> supervisor): one checksummed frame per point
+ *                                  carrying an OutcomeRecord
+ *
+ * The supervisor applies a per-point wall-clock timeout and converts
+ * every worker mishap — crash, signal (an OOM kill is a SIGKILL),
+ * nonzero exit, torn frame, timeout — into the PR 4 structured error
+ * taxonomy (SimErrorKind::WorkerCrash / WorkerTimeout) after bounded
+ * respawn retries with exponential backoff and deterministic jitter
+ * (exp/backoff.hh). Healthy points execute byte-identically to
+ * in-process mode: the child runs the same executeSweepPoint() path
+ * and ships bit-exact RunStats/memory back.
+ *
+ * Graceful degradation: if no worker can be spawned at all, the
+ * runner falls back to in-process thread execution with a warning; if
+ * only some spawns fail, the affected supervisor threads execute
+ * their share in-process.
+ *
+ * Exceptions keep their in-process semantics across the process
+ * boundary: a worker that catches SimError without fail-safe, a
+ * CompileError, or any other exception ships it classified in the
+ * record, and the supervisor rethrows the same type in plan order.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "procoup/exp/plan.hh"
+#include "procoup/exp/runner.hh"
+
+namespace procoup {
+namespace exp {
+
+/** Protocol fds inherited by a worker child. */
+constexpr int kWorkerCmdFd = 3;
+constexpr int kWorkerResFd = 4;
+
+/**
+ * Child side: serve points of @p plan until the supervisor closes the
+ * command pipe or sends "Q". Never returns. @p options carries the
+ * cache/fail-safe/retry knobs parsed from the (identical) argv.
+ */
+[[noreturn]] void runWorkerLoop(const ExperimentPlan& plan,
+                                const RunnerOptions& options);
+
+/** Supervisor side, driven by SweepRunner. */
+class WorkerSupervisor
+{
+  public:
+    /** @p cache backs graceful in-process fallback execution. */
+    WorkerSupervisor(const ExperimentPlan& plan,
+                     const RunnerOptions& options, CompileCache& cache);
+
+    /**
+     * Execute every plan index in @p indices on @p workers supervised
+     * children. @p done is called once per index (from supervisor
+     * threads, distinct indices) with the finished outcome;
+     * @p failures (indexed by plan index) receives rethrowable
+     * exceptions a worker shipped back. Returns false — having run
+     * nothing — only if not even one worker could be spawned.
+     */
+    bool run(const std::vector<std::size_t>& indices, int workers,
+             const std::function<void(std::size_t, RunOutcome&&)>& done,
+             std::vector<std::exception_ptr>& failures);
+
+  private:
+    struct Child;
+
+    bool spawn(Child& child) const;
+    RunOutcome supervisePoint(Child& child, std::size_t index,
+                              std::exception_ptr* rethrow) const;
+
+    const ExperimentPlan& _plan;
+    const RunnerOptions& _options;
+    CompileCache& _cache;
+};
+
+} // namespace exp
+} // namespace procoup
+
+#endif // PROCOUP_EXP_WORKER_HH

@@ -14,6 +14,8 @@ simErrorKindName(SimErrorKind k)
       case SimErrorKind::CycleLimit:         return "cycle-limit";
       case SimErrorKind::WallClockDeadline:  return "wall-clock-deadline";
       case SimErrorKind::InvariantViolation: return "invariant-violation";
+      case SimErrorKind::WorkerCrash:        return "worker-crash";
+      case SimErrorKind::WorkerTimeout:      return "worker-timeout";
     }
     return "runtime";
 }

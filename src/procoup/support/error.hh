@@ -42,6 +42,10 @@ enum class SimErrorKind
     CycleLimit,         ///< the per-run cycle budget was exhausted
     WallClockDeadline,  ///< the per-run wall-clock budget was exhausted
     InvariantViolation, ///< a --sanitize re-validation failed
+    WorkerCrash,        ///< an isolated worker process died (signal,
+                        ///< OOM kill, nonzero exit) executing the point
+    WorkerTimeout,      ///< an isolated worker exceeded the supervisor's
+                        ///< per-point wall-clock timeout and was killed
 };
 
 /** Stable display/schema name, e.g. "wall-clock-deadline". */

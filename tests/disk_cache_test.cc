@@ -1,0 +1,193 @@
+/** @file Persistent compile cache: cross-instance reuse with zero
+ *  recompiles, silent recovery from truncated and bit-flipped
+ *  entries (identical RunStats, corruption counted), atomic
+ *  publication, and the --no-disk-cache / disabled escape hatches. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "procoup/benchmarks/benchmarks.hh"
+#include "procoup/config/presets.hh"
+#include "procoup/exp/cache.hh"
+#include "procoup/exp/plan.hh"
+#include "procoup/exp/runner.hh"
+#include "procoup/exp/serialize.hh"
+
+namespace procoup {
+namespace {
+
+std::string
+tempDir()
+{
+    char tmpl[] = "/tmp/procoup_diskcache_XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    return d;
+}
+
+struct Workload
+{
+    std::string source;
+    config::MachineConfig machine = config::baseline();
+    sched::CompileOptions opts;
+
+    Workload()
+    {
+        const auto& b = benchmarks::byName("Matrix");
+        source = b.forMode(core::SimMode::Coupled);
+        opts = core::optionsFor(core::SimMode::Coupled);
+    }
+
+    std::string entryPath(const std::string& dir) const
+    {
+        return exp::CompileCache::entryPath(
+            dir, exp::CompileCache::key(source, machine, opts));
+    }
+};
+
+/** Run the workload through a fresh cache bound to @p dir. */
+sim::RunStats
+runThrough(const Workload& w, const std::string& dir,
+           exp::CompileCache::Stats* stats_out = nullptr)
+{
+    exp::ExperimentPlan plan("disk-cache-test");
+    plan.addBenchmark(w.machine, benchmarks::byName("Matrix"),
+                      core::SimMode::Coupled);
+    exp::RunnerOptions ropts;
+    ropts.jobs = 1;
+    ropts.diskCacheDir = dir;
+    exp::SweepRunner runner(ropts);
+    const exp::SweepResult res = runner.run(plan);
+    if (stats_out)
+        *stats_out = runner.cache().stats();
+    return res.outcomes.front().result.stats;
+}
+
+TEST(DiskCache, WarmStartCompilesNothingAndMatches)
+{
+    const std::string dir = tempDir();
+    Workload w;
+
+    exp::CompileCache::Stats cold;
+    const sim::RunStats a = runThrough(w, dir, &cold);
+    EXPECT_GT(cold.compiles, 0u);
+    EXPECT_GT(cold.diskStores, 0u);
+    EXPECT_EQ(cold.diskHits, 0u);
+    std::ifstream entry(w.entryPath(dir));
+    EXPECT_TRUE(entry.good()) << w.entryPath(dir);
+
+    // A different process (modeled by a fresh cache) compiles nothing.
+    exp::CompileCache::Stats warm;
+    const sim::RunStats b = runThrough(w, dir, &warm);
+    EXPECT_EQ(warm.compiles, 0u);
+    EXPECT_GT(warm.diskHits, 0u);
+    EXPECT_EQ(warm.diskCorrupt, 0u);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(DiskCache, TruncatedEntryIsSilentlyRecompiled)
+{
+    const std::string dir = tempDir();
+    Workload w;
+    const sim::RunStats a = runThrough(w, dir);
+
+    const std::string path = w.entryPath(dir);
+    std::string bytes;
+    ASSERT_TRUE(exp::readWholeFile(path, &bytes));
+    ASSERT_TRUE(
+        exp::atomicWriteFile(path, bytes.substr(0, bytes.size() / 2)));
+
+    exp::CompileCache::Stats st;
+    const sim::RunStats b = runThrough(w, dir, &st);
+    EXPECT_EQ(st.diskCorrupt, 1u);
+    EXPECT_EQ(st.diskHits, 0u);
+    EXPECT_GT(st.compiles, 0u);   // recompiled...
+    EXPECT_GT(st.diskStores, 0u); // ...and re-published
+    EXPECT_TRUE(a == b);          // with identical results
+
+    // The re-published entry serves the next run again.
+    exp::CompileCache::Stats healed;
+    runThrough(w, dir, &healed);
+    EXPECT_EQ(healed.compiles, 0u);
+    EXPECT_GT(healed.diskHits, 0u);
+}
+
+TEST(DiskCache, BitFlippedEntryIsSilentlyRecompiled)
+{
+    const std::string dir = tempDir();
+    Workload w;
+    const sim::RunStats a = runThrough(w, dir);
+
+    const std::string path = w.entryPath(dir);
+    std::string bytes;
+    ASSERT_TRUE(exp::readWholeFile(path, &bytes));
+    // Flip a payload bit (past the header) so the length still parses
+    // but the checksum does not.
+    bytes[exp::kFrameHeaderSize + bytes.size() / 2] ^= 0x01;
+    ASSERT_TRUE(exp::atomicWriteFile(path, bytes));
+
+    exp::CompileCache::Stats st;
+    const sim::RunStats b = runThrough(w, dir, &st);
+    EXPECT_EQ(st.diskCorrupt, 1u);
+    EXPECT_GT(st.compiles, 0u);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(DiskCache, KeyCollisionIsDetectedByEmbeddedKey)
+{
+    const std::string dir = tempDir();
+    Workload w;
+    runThrough(w, dir);
+
+    // A foreign entry under our file name (hash collision model):
+    // valid frame, wrong embedded key string.
+    exp::ByteWriter fw;
+    fw.str("some other compilation key");
+    ASSERT_TRUE(exp::atomicWriteFile(w.entryPath(dir),
+                                     exp::frame(fw.take())));
+
+    exp::CompileCache::Stats st;
+    runThrough(w, dir, &st);
+    EXPECT_EQ(st.diskCorrupt, 1u);
+    EXPECT_GT(st.compiles, 0u);
+}
+
+TEST(DiskCache, DisabledCacheBypassesDiskEntirely)
+{
+    const std::string dir = tempDir();
+    Workload w;
+
+    exp::CompileCache cache;
+    cache.setEnabled(false);
+    cache.setDiskDir(dir);
+    cache.compile(w.source, w.machine, w.opts);
+    const auto st = cache.stats();
+    EXPECT_EQ(st.diskStores, 0u);
+    EXPECT_EQ(st.diskHits, 0u);
+    std::ifstream entry(w.entryPath(dir));
+    EXPECT_FALSE(entry.good());
+}
+
+TEST(DiskCache, RunnerWithoutDiskDirWritesNothing)
+{
+    const std::string dir = tempDir();
+    Workload w;
+    // diskCacheDir stays empty (the --no-disk-cache path): no entry
+    // may appear even though the directory exists.
+    exp::ExperimentPlan plan("no-disk");
+    plan.addBenchmark(w.machine, benchmarks::byName("Matrix"),
+                      core::SimMode::Coupled);
+    exp::RunnerOptions ropts;
+    ropts.jobs = 1;
+    exp::SweepRunner runner(ropts);
+    runner.run(plan);
+    EXPECT_EQ(runner.cache().stats().diskStores, 0u);
+    std::ifstream entry(w.entryPath(dir));
+    EXPECT_FALSE(entry.good());
+}
+
+} // namespace
+} // namespace procoup

@@ -138,9 +138,9 @@ TEST(SweepFailSafe, BundleAndReportCarryErrorRecords)
 
 TEST(SweepFailSafe, RetryRecordsFirstDeterministicError)
 {
-    // A deadlock independent of the fault schedule fails the retry
-    // too; the recorded error must be the *first* one, with the
-    // retry counted.
+    // A deadlock independent of the fault schedule fails every
+    // reseeded retry too; the recorded error must be the *first* one,
+    // with the whole bounded retry budget counted in the record.
     const auto machine = testMachine();
     exp::ExperimentPlan plan("retry");
     exp::SweepPoint& p = plan.addSource("faulted-deadlock", machine,
@@ -151,13 +151,15 @@ TEST(SweepFailSafe, RetryRecordsFirstDeterministicError)
     exp::RunnerOptions ropts;
     ropts.jobs = 1;
     ropts.failSafe = true;
-    ropts.retryFaultedOnce = true;
+    ropts.retryFaulted = true;
+    ropts.retryPolicy.maxAttempts = 3;   // 2 retries after the first
+    ropts.retryPolicy.baseDelayMs = 1.0; // keep the test fast
     exp::SweepRunner runner(ropts);
     const exp::SweepResult result = runner.run(plan);
 
     const exp::RunOutcome& o = result.at("faulted-deadlock");
     EXPECT_TRUE(o.failed);
-    EXPECT_EQ(o.retries, 1);
+    EXPECT_EQ(o.retries, ropts.retryPolicy.maxRetries());
     EXPECT_EQ(o.errorKind, SimErrorKind::Deadlock);
 
     // Unfaulted points are never retried: their failures replay

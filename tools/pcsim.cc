@@ -43,6 +43,21 @@
  *                                      "procoup-stats/2" error object
  *                                      in --stats-json) instead of a
  *                                      nonzero exit
+ *   --journal DIR                      write-ahead results journal: a
+ *                                      completed run is recorded in
+ *                                      DIR and replayed bit-identically
+ *                                      on a rerun (see exp/journal.hh)
+ *   --disk-cache DIR                   persistent compile cache shared
+ *                                      across processes and runs
+ *                                      (default: $PROCOUP_DISK_CACHE)
+ *   --no-disk-cache                    ignore --disk-cache and the
+ *                                      environment default
+ *   --isolate-workers                  run the point in a supervised
+ *                                      child process; crashes become
+ *                                      worker-crash error records
+ *   --retries N                        respawn/retry budget (default 2)
+ *   --worker-timeout-ms N              per-point budget under
+ *                                      --isolate-workers
  *
  * The run itself goes through exp::SweepRunner as a one-point
  * ExperimentPlan sharing a compile cache with the dump path, exactly
@@ -53,6 +68,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -66,6 +82,7 @@
 #include "procoup/exp/cache.hh"
 #include "procoup/exp/plan.hh"
 #include "procoup/exp/runner.hh"
+#include "procoup/exp/worker.hh"
 #include "procoup/fault/fault.hh"
 #include "procoup/ir/frontend.hh"
 #include "procoup/isa/asmtext.hh"
@@ -141,12 +158,23 @@ struct Options
     std::uint64_t cycle_cap = 0;
     double deadline_ms = 0.0;
     bool fail_safe = false;
+    std::string journal_dir;
+    std::string disk_cache_dir;
+    bool isolate_workers = false;
+    int retries = 2;
+    double worker_timeout_ms = 120000.0;
+    bool worker_mode = false;
+    std::vector<std::string> raw_argv;
 };
 
 Options
 parseArgs(int argc, char** argv)
 {
     Options o;
+    o.raw_argv.assign(argv, argv + argc);
+    if (const char* env = std::getenv("PROCOUP_DISK_CACHE"))
+        o.disk_cache_dir = env;
+    bool no_disk_cache = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -228,12 +256,34 @@ parseArgs(int argc, char** argv)
                 usage(argv[0]);
         } else if (a == "--fail-safe") {
             o.fail_safe = true;
+        } else if (a == "--journal") {
+            o.journal_dir = next();
+        } else if (a == "--disk-cache") {
+            o.disk_cache_dir = next();
+        } else if (a == "--no-disk-cache") {
+            no_disk_cache = true;
+        } else if (a == "--isolate-workers") {
+            o.isolate_workers = true;
+        } else if (a == "--retries") {
+            o.retries = static_cast<int>(
+                std::strtol(next().c_str(), nullptr, 10));
+            if (o.retries < 0)
+                usage(argv[0]);
+        } else if (a == "--worker-timeout-ms") {
+            o.worker_timeout_ms =
+                std::strtod(next().c_str(), nullptr);
+            if (o.worker_timeout_ms <= 0.0)
+                usage(argv[0]);
+        } else if (a == "--worker") {
+            o.worker_mode = true;
         } else if (!a.empty() && a[0] == '-') {
             usage(argv[0]);
         } else {
             o.source_file = a;
         }
     }
+    if (no_disk_cache)
+        o.disk_cache_dir.clear();
     if (o.source_file.empty() == o.benchmark.empty())
         usage(argv[0]);  // exactly one input
     return o;
@@ -251,7 +301,7 @@ try {
             ? benchmarks::byName(o.benchmark).forMode(o.mode)
             : readFile(o.source_file);
 
-    if (o.dump_ir) {
+    if (o.dump_ir && !o.worker_mode) {
         ir::FrontendOptions fopts;
         fopts.forkClones =
             static_cast<int>(o.machine.arithClusters().size());
@@ -260,22 +310,29 @@ try {
         std::printf("%s\n", mod.toString().c_str());
     }
 
-    // Compile once for the dump output; the runner's own compile of
-    // the same point is then a cache hit, never a second compilation.
     exp::CompileCache cache;
-    const auto compiled =
-        cache.compile(source, o.machine, core::optionsFor(o.mode));
+    if (!o.disk_cache_dir.empty())
+        cache.setDiskDir(o.disk_cache_dir);
+    if (!o.worker_mode) {
+        // Compile once for the dump output; the runner's own compile
+        // of the same point is then a cache hit, never a second
+        // compilation. A worker child skips this: its stdout is the
+        // supervisor's, and it compiles lazily per served point.
+        const auto compiled =
+            cache.compile(source, o.machine, core::optionsFor(o.mode));
 
-    if (o.dump_asm)
-        std::printf("%s\n",
-                    isa::printAssembly(compiled->program).c_str());
-    if (o.dump_schedule)
-        for (const auto& t : compiled->program.threads)
+        if (o.dump_asm)
             std::printf("%s\n",
-                        sched::formatSchedule(t, o.machine).c_str());
-    if (o.diag)
-        std::printf("%s\n",
-                    sched::formatDiagnostics(*compiled).c_str());
+                        isa::printAssembly(compiled->program).c_str());
+        if (o.dump_schedule)
+            for (const auto& t : compiled->program.threads)
+                std::printf(
+                    "%s\n",
+                    sched::formatSchedule(t, o.machine).c_str());
+        if (o.diag)
+            std::printf("%s\n",
+                        sched::formatDiagnostics(*compiled).c_str());
+    }
 
     exp::ExperimentPlan plan("pcsim");
     exp::SweepPoint& point = plan.addSource(
@@ -294,6 +351,20 @@ try {
     point.simOptions.limits.maxCycles = o.cycle_cap;
     point.simOptions.limits.wallClockDeadlineMs = o.deadline_ms;
 
+    exp::RunnerOptions ropts;
+    ropts.jobs = o.jobs;
+    ropts.cache = &cache;
+    ropts.failSafe = o.fail_safe;
+    ropts.retryPolicy.maxAttempts = o.retries + 1;
+    ropts.journalDir = o.journal_dir;
+    ropts.diskCacheDir = o.disk_cache_dir;
+    ropts.isolateWorkers = o.isolate_workers;
+    ropts.workerSpawnArgv = o.raw_argv;
+    ropts.workerTimeoutMs = o.worker_timeout_ms;
+
+    if (o.worker_mode)
+        exp::runWorkerLoop(plan, ropts);  // never returns
+
     long traced = 0;
     std::vector<sim::TraceEvent> collected;
     if (o.do_trace || !o.trace_out.empty()) {
@@ -306,10 +377,6 @@ try {
         point.traceStalls = o.trace_stalls;
     }
 
-    exp::RunnerOptions ropts;
-    ropts.jobs = o.jobs;
-    ropts.cache = &cache;
-    ropts.failSafe = o.fail_safe;
     exp::SweepRunner runner(ropts);
     const exp::SweepResult sweep = runner.run(plan);
     const exp::RunOutcome& outcome = sweep.outcomes.front();
