@@ -1,0 +1,365 @@
+#!/usr/bin/env python3
+"""Chaos test for the procoupd sweep daemon.
+
+Runs the same fuzz_soak sweep through every daemon failure mode and
+asserts the convergence contract: whatever dies — worker, daemon, or
+client — a client that (re)submits the plan ends up with a stats
+bundle byte-identical to a plain local run, and journaled points are
+never recompiled or re-executed.
+
+Scenarios:
+
+  clean       daemon run vs local run: byte-identical bundle, report
+              identical after dropping timing/daemon keys, leases
+              issued for every point;
+  no-workers  in-process degradation (--no-workers): identical bundle;
+  kill-worker SIGKILL a worker child mid-sweep: the broken lease is
+              reassigned and the bundle still converges;
+  kill-daemon SIGKILL the daemon mid-sweep, restart it on the same
+              state dir: the client reconnects, journaled points
+              replay, and the bundle still converges;
+  kill-client SIGKILL the client mid-sweep: the daemon finishes and
+              finalizes its journal anyway; a second client replays
+              the whole plan with ZERO recompiles and an identical
+              bundle.
+
+Exit status 0 on success; 1 with a FAIL line per violation.
+"""
+
+import argparse
+import glob
+import json
+import os
+import signal
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+
+FRAME_MAGIC = 0x52464350  # "PCFR"
+FORMAT_VERSION = 1
+FRAME_HEADER = 4 + 4 + 8 + 8
+
+FAILURES = []
+
+
+def check(cond, message):
+    if not cond:
+        FAILURES.append(message)
+    return cond
+
+
+def count_frames(path):
+    """Lower bound on committed records (stop at any damage)."""
+    try:
+        blob = open(path, "rb").read()
+    except OSError:
+        return 0
+    n, off = 0, 0
+    while off + FRAME_HEADER <= len(blob):
+        magic, version, length = struct.unpack_from("<IIQ", blob, off)
+        if magic != FRAME_MAGIC or version != FORMAT_VERSION:
+            break
+        if off + FRAME_HEADER + length > len(blob):
+            break
+        n += 1
+        off += FRAME_HEADER + length
+    return n
+
+
+def wal_records(state):
+    return sum(count_frames(p)
+               for p in glob.glob(os.path.join(state, "*.wal")) +
+               glob.glob(os.path.join(state, "*.journal")))
+
+
+def child_pids(pid):
+    pids = []
+    for path in glob.glob(f"/proc/{pid}/task/*/children"):
+        try:
+            pids += [int(c) for c in open(path).read().split()]
+        except (OSError, ValueError):
+            pass
+    return pids
+
+
+def normalized_report(path):
+    """A sweep report minus everything legitimately run-dependent."""
+    doc = json.load(open(path))
+    for key in ("wall_ms", "point_wall_ms_total", "jobs",
+                "compile_cache", "daemon"):
+        doc.pop(key, None)
+    return doc
+
+
+class Daemon:
+    def __init__(self, procoupd, sock, state, extra=()):
+        self.procoupd = procoupd
+        self.sock = sock
+        self.state = state
+        self.extra = list(extra)
+        self.proc = None
+
+    def start(self):
+        self.proc = subprocess.Popen(
+            [self.procoupd, "--socket", self.sock, "--state",
+             self.state, "--jobs", "2"] + self.extra,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(self.sock):
+            if time.monotonic() > deadline:
+                raise RuntimeError("daemon never bound its socket")
+            time.sleep(0.01)
+        return self
+
+    def kill(self):
+        if self.proc and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait()
+
+    def stop(self):
+        if self.proc and self.proc.poll() is None:
+            subprocess.run([self.procoupd, "--socket", self.sock,
+                            "--stop"], stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL, timeout=30)
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.kill()
+
+
+def run_client(harness, sock, env, bundle, report, timeout=300):
+    cmd = [harness, "--jobs", "2", "--connect", sock,
+           "--stats-json", bundle, "--sweep-report", report]
+    return subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL, env=env,
+                          timeout=timeout)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--harness", required=True,
+                    help="path to the fuzz_soak binary")
+    ap.add_argument("--procoupd", required=True,
+                    help="path to the procoupd binary")
+    ap.add_argument("--programs", type=int, default=4)
+    ap.add_argument("--chaos-programs", type=int, default=20,
+                    help="sweep size for the kill scenarios (bigger "
+                         "= more runway for a mid-sweep kill)")
+    ap.add_argument("--max-tries", type=int, default=8)
+    args = ap.parse_args()
+
+    work = tempfile.mkdtemp(prefix="procoup_chaosd_")
+    env = dict(os.environ,
+               PROCOUP_FUZZ_PROGRAMS=str(args.programs),
+               PROCOUP_FUZZ_FIRST_SEED="7000")
+    env.pop("PROCOUP_SOAK_JOURNAL", None)
+    chaos_env = dict(env,
+                     PROCOUP_FUZZ_PROGRAMS=str(args.chaos_programs))
+
+    def path(name):
+        return os.path.join(work, name)
+
+    # Local references: the bytes every daemon scenario must converge
+    # to, at both sweep sizes.
+    refs = {}
+    for tag, e in (("small", env), ("big", chaos_env)):
+        bundle, report = path(f"ref_{tag}.json"), path(f"refrep_{tag}.json")
+        proc = subprocess.run(
+            [args.harness, "--jobs", "2", "--stats-json", bundle,
+             "--sweep-report", report],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=e, timeout=300)
+        if not check(proc.returncode == 0,
+                     f"local reference ({tag}) failed rc={proc.returncode}"):
+            return finish()
+        refs[tag] = (open(bundle, "rb").read(), normalized_report(report))
+
+    # ---- clean: daemon run == local run ---------------------------------
+    d = Daemon(args.procoupd, path("clean.sock"), path("clean.state"))
+    d.start()
+    bundle, report = path("clean_bundle.json"), path("clean_rep.json")
+    proc = run_client(args.harness, d.sock, env, bundle, report)
+    d.stop()
+    if check(proc.returncode == 0,
+             f"clean daemon client failed rc={proc.returncode}"):
+        check(open(bundle, "rb").read() == refs["small"][0],
+              "clean: daemon bundle differs from local bundle")
+        check(normalized_report(report) == refs["small"][1],
+              "clean: daemon report differs beyond timing/daemon keys")
+        daemon_block = json.load(open(report)).get("daemon", {})
+        check(daemon_block.get("leases_issued", 0) > 0,
+              "clean: daemon report shows no leases issued")
+        check(daemon_block.get("worker_lost", 0) == 0,
+              "clean: daemon lost workers on an undisturbed run")
+
+    # ---- no-workers: in-process degradation -----------------------------
+    d = Daemon(args.procoupd, path("noworkers.sock"),
+               path("noworkers.state"), extra=["--no-workers"])
+    d.start()
+    bundle, report = path("nw_bundle.json"), path("nw_rep.json")
+    proc = run_client(args.harness, d.sock, env, bundle, report)
+    d.stop()
+    if check(proc.returncode == 0,
+             f"no-workers client failed rc={proc.returncode}"):
+        check(open(bundle, "rb").read() == refs["small"][0],
+              "no-workers: bundle differs from local bundle")
+
+    # ---- kill-worker: broken lease is reassigned ------------------------
+    landed = False
+    for attempt in range(args.max_tries):
+        state = path(f"kw{attempt}.state")
+        d = Daemon(args.procoupd, path(f"kw{attempt}.sock"), state)
+        d.start()
+        bundle, report = path("kw_bundle.json"), path("kw_rep.json")
+        client = subprocess.Popen(
+            [args.harness, "--jobs", "2", "--connect", d.sock,
+             "--stats-json", bundle, "--sweep-report", report],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=chaos_env)
+        deadline = time.monotonic() + 300.0
+        while (wal_records(state) < 1 and client.poll() is None and
+               time.monotonic() < deadline):
+            time.sleep(0.005)
+        workers = child_pids(d.proc.pid) if client.poll() is None else []
+        for pid in workers[:1]:
+            try:
+                os.kill(pid, signal.SIGKILL)
+                landed = True
+            except OSError:
+                pass
+        rc = client.wait(timeout=300)
+        d.stop()
+        if not check(rc == 0, f"kill-worker client failed rc={rc}"):
+            return finish()
+        check(open(bundle, "rb").read() == refs["big"][0],
+              "kill-worker: bundle differs after a worker SIGKILL")
+        if landed:
+            break
+    check(landed, "kill-worker: no kill ever landed mid-sweep; "
+                  "raise --chaos-programs")
+
+    # ---- kill-daemon: client survives a daemon SIGKILL + restart --------
+    landed = False
+    for attempt in range(args.max_tries):
+        state = path(f"kd{attempt}.state")
+        sock = path(f"kd{attempt}.sock")
+        d = Daemon(args.procoupd, sock, state)
+        d.start()
+        bundle, report = path("kd_bundle.json"), path("kd_rep.json")
+        client = subprocess.Popen(
+            [args.harness, "--jobs", "2", "--connect", sock,
+             "--stats-json", bundle, "--sweep-report", report],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=chaos_env)
+        deadline = time.monotonic() + 300.0
+        while (wal_records(state) < 1 and client.poll() is None and
+               time.monotonic() < deadline):
+            time.sleep(0.005)
+        if client.poll() is None:
+            d.kill()
+            landed = True
+            d = Daemon(args.procoupd, sock, state).start()
+        rc = client.wait(timeout=300)
+        d.stop()
+        if not check(rc == 0, f"kill-daemon client failed rc={rc}"):
+            return finish()
+        check(open(bundle, "rb").read() == refs["big"][0],
+              "kill-daemon: bundle differs after daemon SIGKILL+restart")
+        if landed:
+            daemon_block = json.load(open(report)).get("daemon", {})
+            check(daemon_block.get("replayed", 0) >= 1,
+                  "kill-daemon: restarted daemon replayed nothing "
+                  "from its journal")
+            break
+    check(landed, "kill-daemon: no kill ever landed mid-sweep; "
+                  "raise --chaos-programs")
+
+    # ---- kill-client: daemon finishes, second client replays ------------
+    landed = False
+    kc_state = None
+    for attempt in range(args.max_tries):
+        state = path(f"kc{attempt}.state")
+        d = Daemon(args.procoupd, path(f"kc{attempt}.sock"), state)
+        d.start()
+        client = subprocess.Popen(
+            [args.harness, "--jobs", "2", "--connect", d.sock,
+             "--stats-json", path("kc_dead.json")],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=chaos_env)
+        deadline = time.monotonic() + 300.0
+        while (wal_records(state) < 1 and client.poll() is None and
+               time.monotonic() < deadline):
+            time.sleep(0.005)
+        if client.poll() is None:
+            client.send_signal(signal.SIGKILL)
+            client.wait()
+            landed = True
+        else:
+            d.stop()
+            continue
+        # The plan must run to completion and finalize daemon-side
+        # even with no client attached.
+        deadline = time.monotonic() + 300.0
+        while (not glob.glob(os.path.join(state, "*.journal")) and
+               time.monotonic() < deadline):
+            time.sleep(0.01)
+        if not check(glob.glob(os.path.join(state, "*.journal")),
+                     "kill-client: daemon never finalized its journal "
+                     "after the client died"):
+            d.stop()
+            return finish()
+        bundle, report = path("kc_bundle.json"), path("kc_rep.json")
+        proc = run_client(args.harness, d.sock, chaos_env, bundle,
+                          report)
+        d.stop()
+        if not check(proc.returncode == 0,
+                     f"kill-client second client failed "
+                     f"rc={proc.returncode}"):
+            return finish()
+        check(open(bundle, "rb").read() == refs["big"][0],
+              "kill-client: replayed bundle differs from local bundle")
+        daemon_block = json.load(open(report)).get("daemon", {})
+        check(daemon_block.get("compiles", -1) == 0,
+              f"kill-client: replay recompiled "
+              f"{daemon_block.get('compiles')} points (want 0)")
+        check(daemon_block.get("executed", -1) == 0,
+              f"kill-client: replay re-executed "
+              f"{daemon_block.get('executed')} points (want 0)")
+        kc_state = state
+        break
+    check(landed, "kill-client: no kill ever landed mid-sweep; "
+                  "raise --chaos-programs")
+
+    # The daemon-mode sweep reports — and the survived state dir —
+    # must satisfy the schema contract.
+    checker = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "check_stats_schema.py")
+    cmd = [sys.executable, checker]
+    for rep in ("clean_rep.json", "kd_rep.json", "kc_rep.json"):
+        if os.path.exists(path(rep)):
+            cmd += ["--sweep-report", path(rep)]
+    if landed and kc_state is not None:
+        cmd += ["--journal-dir", kc_state]
+    if len(cmd) > 2:
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.PIPE, timeout=60)
+        check(proc.returncode == 0,
+              f"schema validation failed: "
+              f"{proc.stderr.decode(errors='replace').strip()}")
+
+    return finish()
+
+
+def finish():
+    if FAILURES:
+        for f in FAILURES:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("chaos_daemon: all scenarios converged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

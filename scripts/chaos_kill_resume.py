@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Kill/resume chaos test for the write-ahead results journal.
 
-Runs a journaled fuzz_soak sweep (PROCOUP_SOAK_JOURNAL), SIGKILLs the
+Runs a journaled fuzz_soak sweep (PROCOUP_SOAK_JOURNAL), kills the
 process after a seeded-random number of points has been committed to
 the write-ahead file (observed by counting its framed records), then
 resumes — repeatedly, until a run survives to completion — and
-asserts the crash-safety contract:
+asserts the crash-safety contract. With --signal kill (the default)
+the process dies by SIGKILL, exercising torn-tail recovery; with
+--signal term it dies by SIGTERM, exercising the graceful drain that
+finishes in-flight points, flushes the WAL, and exits 143:
 
   * the final --stats-json bundle is byte-identical to the bundle of
     an uninterrupted, never-journaled run of the same sweep;
@@ -102,7 +105,14 @@ def main():
     ap.add_argument("--seed", type=int, default=20260808,
                     help="seed for the kill schedule")
     ap.add_argument("--max-kills", type=int, default=8)
+    ap.add_argument("--signal", choices=["kill", "term"],
+                    default="kill",
+                    help="'kill' tests torn-tail recovery after "
+                         "SIGKILL; 'term' tests the graceful "
+                         "flush-and-exit drain (expects rc 143)")
     args = ap.parse_args()
+    chaos_signal = (signal.SIGKILL if args.signal == "kill"
+                    else signal.SIGTERM)
 
     rng = random.Random(args.seed)
     work = tempfile.mkdtemp(prefix="procoup_chaos_")
@@ -127,6 +137,8 @@ def main():
     got_bundle = os.path.join(work, "got_bundle.json")
     got_out = os.path.join(work, "got.out")
     kills = 0
+    signals_sent = 0
+    drains = 0
     survived = False
     while kills < args.max_kills:
         start = journal_records(jdir)
@@ -139,9 +151,33 @@ def main():
             deadline = time.monotonic() + 300.0
             while child.poll() is None:
                 if journal_records(jdir) >= threshold:
-                    child.send_signal(signal.SIGKILL)
+                    child.send_signal(chaos_signal)
+                    signals_sent += 1
                     child.wait()
-                    kills += 1
+                    if (args.signal == "term" and
+                            child.returncode == 0):
+                        # The SIGTERM landed after the drain's last
+                        # checkpoint: the sweep crossed the finish
+                        # line first. A completed run, not a kill.
+                        survived = True
+                    else:
+                        if args.signal == "term":
+                            # rc 143: the drain finished in-flight
+                            # points, flushed the WAL, and exited.
+                            # rc -SIGTERM: the signal raced past the
+                            # armed window (e.g. during report
+                            # writing, after the journal was safe) —
+                            # a plain kill the resume must absorb.
+                            check(child.returncode in
+                                  (128 + signal.SIGTERM,
+                                   -signal.SIGTERM),
+                                  f"SIGTERM exited "
+                                  f"rc={child.returncode}, "
+                                  f"want 143 or -15")
+                            if (child.returncode
+                                    == 128 + signal.SIGTERM):
+                                drains += 1
+                        kills += 1
                     break
                 if time.monotonic() > deadline:
                     child.kill()
@@ -153,6 +189,7 @@ def main():
                 survived = child.returncode == 0
                 check(survived,
                       f"resumed soak failed rc={child.returncode}")
+            if survived:
                 break
     if not survived:
         # Kill budget exhausted: one clean run to the finish line.
@@ -162,8 +199,13 @@ def main():
                      f"final resume failed rc={proc.returncode}"):
             return finish()
 
-    check(kills > 0, "kill schedule never fired: sweep too fast or "
-                     "thresholds too deep; shrink --programs")
+    check(signals_sent > 0,
+          "kill schedule never fired: sweep too fast or thresholds "
+          "too deep; shrink --programs")
+    if args.signal == "term" and kills > 0:
+        check(drains > 0,
+              "every SIGTERM raced past the drain window; the "
+              "graceful-exit path was never exercised")
 
     # The surviving run replayed the murdered runs' committed work.
     replayed = None
@@ -220,7 +262,7 @@ def finish(kills=0, replayed=None):
         for f in FAILURES:
             print(f"FAIL {f}", file=sys.stderr)
         return 1
-    print(f"ok: survived {kills} SIGKILL(s), replayed "
+    print(f"ok: survived {kills} kill(s), replayed "
           f"{replayed} point(s), bundle byte-identical, "
           "zero recompiles on full replay")
     return 0

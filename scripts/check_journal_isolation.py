@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Journal x worker-isolation interaction test.
+
+Runs a harness sweep with BOTH --journal and --isolate-workers, then
+reruns it over the finalized journal and asserts the resume path
+never pays for isolation again:
+
+  * the first run spawns at least one worker process (observed via
+    the PROCOUP_TEST_WORKER_SPAWN_LOG hook, which appends one line
+    per worker-loop start);
+  * the rerun spawns ZERO workers — every point is replayed from the
+    journal without forking anything;
+  * the rerun's --stats-json bundle is byte-identical to the first
+    run's, and its --sweep-report journal block shows executed == 0
+    and compiles == 0.
+
+Exit status 0 on success; 1 with a FAIL line per violation.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def check(cond, message):
+    if not cond:
+        FAILURES.append(message)
+    return cond
+
+
+def spawn_count(path):
+    try:
+        return sum(1 for line in open(path) if line.strip())
+    except OSError:
+        return 0
+
+
+def run(harness, jdir, env, bundle, report, filter_):
+    cmd = [harness, "--jobs", "2", "--isolate-workers",
+           "--journal", jdir, "--stats-json", bundle,
+           "--sweep-report", report]
+    if filter_:
+        cmd += ["--filter", filter_]
+    return subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL, env=env,
+                          timeout=600)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--harness", required=True,
+                    help="path to a sweep harness binary")
+    ap.add_argument("--filter", default="",
+                    help="optional --filter forwarded to the harness")
+    args = ap.parse_args()
+
+    work = tempfile.mkdtemp(prefix="procoup_jiso_")
+    jdir = os.path.join(work, "journal")
+
+    first_log = os.path.join(work, "spawns_first.log")
+    env = dict(os.environ, PROCOUP_TEST_WORKER_SPAWN_LOG=first_log)
+    b1 = os.path.join(work, "bundle1.json")
+    r1 = os.path.join(work, "report1.json")
+    proc = run(args.harness, jdir, env, b1, r1, args.filter)
+    if not check(proc.returncode == 0,
+                 f"journaled isolated sweep failed rc={proc.returncode}"):
+        return finish()
+    check(spawn_count(first_log) > 0,
+          "isolated sweep spawned no workers (spawn-log hook broken?)")
+
+    # Rerun over the finalized journal: pure replay, no forking.
+    resume_log = os.path.join(work, "spawns_resume.log")
+    env = dict(os.environ, PROCOUP_TEST_WORKER_SPAWN_LOG=resume_log)
+    b2 = os.path.join(work, "bundle2.json")
+    r2 = os.path.join(work, "report2.json")
+    proc = run(args.harness, jdir, env, b2, r2, args.filter)
+    if not check(proc.returncode == 0,
+                 f"journal resume failed rc={proc.returncode}"):
+        return finish()
+    check(spawn_count(resume_log) == 0,
+          f"resume spawned {spawn_count(resume_log)} workers "
+          "despite a finalized journal (want 0)")
+    check(open(b1, "rb").read() == open(b2, "rb").read(),
+          "resume bundle differs from the first run's bundle")
+
+    doc = json.load(open(r2))
+    jb = doc.get("journal", {})
+    check(jb.get("executed") == 0,
+          f"resume still executed {jb.get('executed')} points")
+    check(jb.get("replayed") == doc.get("points"),
+          f"resume replayed {jb.get('replayed')} of "
+          f"{doc.get('points')} points")
+    check(jb.get("compiles") == 0,
+          f"resume recompiled {jb.get('compiles')} points")
+
+    return finish()
+
+
+def finish():
+    if FAILURES:
+        for f in FAILURES:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("ok: journal resume replayed everything with zero "
+          "worker spawns")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

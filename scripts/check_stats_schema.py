@@ -29,7 +29,17 @@ by a --journal sweep (exp/journal.hh): the procoup-journal/1 meta
 sidecar, and every framed record in the .journal/.wal files — frame
 magic, format version, FNV-1a payload checksum, and the JSON
 meta-header (label, fingerprint, threw class, error kind, retries) at
-the head of each record.
+the head of each record. A procoupd state directory is a journal
+directory plus *.plan spool files; those are validated as single
+kind-tagged plan-submit frames.
+
+With --sweep-report FILE, validates a harness --sweep-report document
+("procoup-sweep/1" or "/2"): required keys, the compile_cache block,
+the optional journal/disk_cache blocks, the failures array (whose
+kinds must come from the error-kind taxonomy, including the daemon's
+"worker-lost"), and — for daemon-mode runs — the "daemon" block: all
+eleven counters present, non-negative, with replayed + executed equal
+to the point count.
 
 Registered as a ctest (stats_schema_check) so `ctest -j` covers it.
 Documented in docs/INTERNALS.md ("Observability").
@@ -77,12 +87,25 @@ ERROR_KINDS = [
     "invariant-violation",
     "worker-crash",
     "worker-timeout",
+    "worker-lost",
 ]
 
 # Results-journal frame constants (src/procoup/exp/serialize.hh).
 FRAME_MAGIC = 0x52464350  # "PCFR"
 FORMAT_VERSION = 1
 FRAME_HEADER = 4 + 4 + 8 + 8
+
+# Kind-tagged daemon frames (src/procoup/exp/service.hh).
+FRAME_KINDS = {
+    1: "plan-submit",
+    2: "point-lease",
+    3: "point-result",
+    4: "heartbeat",
+    5: "stream-ack",
+    6: "shutdown",
+    7: "plan-done",
+    8: "service-error",
+}
 
 BENCHMARKS = ["Matrix", "FFT", "LUD", "Model"]
 MACHINES = {
@@ -357,6 +380,82 @@ def validate_fuzz(path):
     return 1
 
 
+def validate_sweep_report(path):
+    """A harness --sweep-report document, local or daemon-mode."""
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        check(False, path, f"unreadable sweep report: {e}")
+        return 0
+    check(doc.get("schema") in ("procoup-sweep/1", "procoup-sweep/2"),
+          path, f"bad sweep-report schema '{doc.get('schema')}'")
+    expect_keys(path, doc,
+                {"harness": str, "jobs": int, "points": int,
+                 "wall_ms": (int, float),
+                 "point_wall_ms_total": (int, float),
+                 "compile_cache": dict})
+    expect_keys(path + ".compile_cache", doc.get("compile_cache", {}),
+                {"enabled": bool, "hits": int, "misses": int,
+                 "hit_rate": (int, float)})
+
+    if "journal" in doc:
+        expect_keys(path + ".journal", doc["journal"],
+                    {"dir": str, "replayed": int, "executed": int,
+                     "compiles": int})
+    if "disk_cache" in doc:
+        expect_keys(path + ".disk_cache", doc["disk_cache"],
+                    {"dir": str, "compiles": int, "hits": int,
+                     "stores": int, "corrupt": int})
+
+    if "daemon" in doc:
+        daemon = doc["daemon"]
+        counters = ["leases_issued", "leases_expired",
+                    "leases_reassigned", "heartbeats", "worker_lost",
+                    "results_streamed", "replayed", "executed",
+                    "reconnects", "compiles"]
+        expect_keys(path + ".daemon", daemon,
+                    dict({"socket": str}, **{k: int for k in counters}))
+        for k in counters:
+            if isinstance(daemon.get(k), int):
+                check(daemon[k] >= 0, path, f"daemon.{k} negative")
+        if all(isinstance(daemon.get(k), int)
+               for k in ("replayed", "executed")) and \
+           isinstance(doc.get("points"), int):
+            # Every point is committed exactly once per session,
+            # either replayed from the write-ahead journal or freshly
+            # executed.
+            check(daemon["replayed"] + daemon["executed"]
+                  == doc["points"], path,
+                  f"daemon replayed {daemon['replayed']} + executed "
+                  f"{daemon['executed']} != points {doc['points']}")
+        if isinstance(daemon.get("leases_issued"), int) and \
+           isinstance(daemon.get("executed"), int):
+            check(daemon["leases_issued"] >= daemon["executed"], path,
+                  "daemon executed more points than it leased")
+
+    failed = doc.get("failed_points")
+    failures = doc.get("failures")
+    check((failed is None) == (failures is None), path,
+          "failed_points and failures must appear together")
+    if failures is not None:
+        check(doc.get("schema") == "procoup-sweep/2", path,
+              "failures present in a /1 sweep report")
+        check(isinstance(failed, int) and failed == len(failures),
+              path, f"failed_points {failed} != |failures| "
+                    f"{len(failures) if isinstance(failures, list) else '?'}")
+        for rec in failures:
+            expect_keys(path + ".failures[]", rec,
+                        {"label": str, "kind": str, "cycle": int,
+                         "retries": int})
+            if "kind" in rec:
+                check(rec["kind"] in ERROR_KINDS, path,
+                      f"unknown failure kind '{rec.get('kind')}'")
+    else:
+        check(doc.get("schema") == "procoup-sweep/1", path,
+              "clean sweep report must stay procoup-sweep/1")
+    return 1
+
+
 def fnv1a64(data):
     h = 0xCBF29CE484222325
     for b in data:
@@ -454,6 +553,24 @@ def validate_journal_dir(path):
             validate_journal_record(f"{rec_path}[{k}]", payload)
             n += 1
     check(n > 0, path, "journal contains no records")
+
+    # procoupd state dirs also hold *.plan worker spools: exactly one
+    # kind-tagged plan-submit frame each.
+    for spool in sorted(glob.glob(os.path.join(path, "*.plan"))):
+        blob = open(spool, "rb").read()
+        payloads = list(iter_frames(spool, blob))
+        check(len(payloads) == 1, spool,
+              f"spool holds {len(payloads)} frames, expected 1")
+        for payload in payloads:
+            check(len(payload) >= 1, spool, "empty spool frame")
+            if payload:
+                kind = payload[0]
+                check(kind in FRAME_KINDS, spool,
+                      f"unknown frame kind {kind}")
+                check(FRAME_KINDS.get(kind) == "plan-submit", spool,
+                      f"spool frame is '{FRAME_KINDS.get(kind)}', "
+                      "expected 'plan-submit'")
+            n += 1
     return n
 
 
@@ -471,10 +588,14 @@ def main():
     ap.add_argument("--journal-dir", action="append", default=[],
                     help="also validate this --journal results "
                          "directory (repeatable)")
+    ap.add_argument("--sweep-report", action="append", default=[],
+                    help="also validate this harness --sweep-report "
+                         "document (repeatable)")
     args = ap.parse_args()
-    if not args.pcsim and not args.fuzz and not args.journal_dir:
+    if not (args.pcsim or args.fuzz or args.journal_dir or
+            args.sweep_report):
         ap.error("--pcsim required (or at least one --fuzz FILE / "
-                 "--journal-dir DIR)")
+                 "--journal-dir DIR / --sweep-report FILE)")
 
     n = 0
     for mname, mflags in (MACHINES.items() if args.pcsim else []):
@@ -525,6 +646,8 @@ def main():
         n += validate_fuzz(path)
     for path in args.journal_dir:
         n += validate_journal_dir(path)
+    for path in args.sweep_report:
+        n += validate_sweep_report(path)
 
     if FAILURES:
         for f in FAILURES:

@@ -132,12 +132,16 @@ def main():
         check_faulted("crash", crash_bundle, ref_runs, victims[0],
                       "worker-crash", attempts=2)
 
-    # A worker that hangs forever on one point.
+    # A worker that hangs forever on one point. The budget converts
+    # the hang no matter its size, so size it for the *healthy*
+    # points: on an oversubscribed host (parallel ctest, chaos tests
+    # hammering the box) a 1 s budget can kill a legitimate worker
+    # and fail the divergence check below.
     hang_bundle = os.path.join(work, "hang.json")
     hang_env = dict(env, PROCOUP_TEST_WORKER_HANG_LABEL=victims[1])
     if run(args.harness,
            base + ["--isolate-workers", "--retries=0",
-                   "--worker-timeout-ms=1000",
+                   "--worker-timeout-ms=10000",
                    "--stats-json", hang_bundle],
            hang_env, os.path.join(work, "hang.out"), "hang"):
         check_faulted("hang", hang_bundle, ref_runs, victims[1],

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "procoup/exp/service.hh"
 #include "procoup/exp/worker.hh"
 #include "procoup/fault/fault.hh"
 #include "procoup/sched/report.hh"
@@ -27,6 +28,7 @@ usage(const char* argv0)
         "       [--fail-safe] [--retry-faulted] [--retries=N]\n"
         "       [--journal DIR] [--disk-cache DIR] [--no-disk-cache]\n"
         "       [--isolate-workers] [--worker-timeout-ms=N]\n"
+        "       [--connect SOCK]\n"
         "see src/procoup/exp/harness.hh for flag semantics\n",
         argv0);
     std::exit(1);
@@ -125,6 +127,10 @@ HarnessOptions::parse(int argc, char** argv)
             o.workerTimeoutMs = std::strtod(a.c_str() + 20, nullptr);
             if (o.workerTimeoutMs <= 0.0)
                 usage(argv[0]);
+        } else if (a == "--connect") {
+            o.connectSocket = next();
+        } else if (a.rfind("--connect=", 0) == 0) {
+            o.connectSocket = a.substr(10);
         } else if (a == "--worker") {
             o.workerMode = true;
         } else {
@@ -208,6 +214,21 @@ formatSweepReport(const ExperimentPlan& plan, const SweepResult& result,
                     "}");
     if (options.isolateWorkers)
         s += ",\n\"isolate_workers\": true";
+    if (result.daemon.active)
+        s += strCat(",\n\"daemon\": {\"socket\": ",
+                    jsonQuote(options.connectSocket),
+                    ", \"leases_issued\": ", result.daemon.leasesIssued,
+                    ", \"leases_expired\": ", result.daemon.leasesExpired,
+                    ", \"leases_reassigned\": ",
+                    result.daemon.leasesReassigned,
+                    ", \"heartbeats\": ", result.daemon.heartbeats,
+                    ", \"worker_lost\": ", result.daemon.workerLost,
+                    ", \"results_streamed\": ",
+                    result.daemon.resultsStreamed,
+                    ", \"replayed\": ", result.daemon.replayed,
+                    ", \"executed\": ", result.daemon.executed,
+                    ", \"reconnects\": ", result.daemon.reconnects,
+                    ", \"compiles\": ", result.daemon.compiles, "}");
     if (failed) {
         s += strCat(",\n\"failed_points\": ", failed,
                     ",\n\"failures\": [");
@@ -274,8 +295,22 @@ runHarness(const ExperimentPlan& plan, const HarnessOptions& options,
     if (options.workerMode)
         runWorkerLoop(to_run, ropts);  // serves points; never returns
 
-    SweepRunner runner(ropts);
-    const SweepResult result = runner.run(to_run);
+    SweepResult result;
+    if (!options.connectSocket.empty()) {
+        if (options.isolateWorkers || !options.journalDir.empty()) {
+            std::fprintf(stderr,
+                         "--connect is incompatible with "
+                         "--isolate-workers and --journal: the daemon "
+                         "owns isolation and durability\n");
+            return 1;
+        }
+        ClientOptions copts;
+        copts.socketPath = options.connectSocket;
+        result = runPlanOverSocket(to_run, ropts, copts);
+    } else {
+        SweepRunner runner(ropts);
+        result = runner.run(to_run);
+    }
 
     if (filtered) {
         // Single-point/CI mode: a standard summary instead of the

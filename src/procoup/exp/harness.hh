@@ -53,6 +53,15 @@
  *                       worker-crash / worker-timeout error record
  *   --worker-timeout-ms=N  per-point wall-clock budget under
  *                       --isolate-workers (default 120000)
+ *   --connect SOCK      submit the plan to a running procoupd sweep
+ *                       daemon on Unix socket SOCK instead of
+ *                       executing locally; results stream back per
+ *                       point and every output (rendering, bundle,
+ *                       sweep report) is byte-identical to a local
+ *                       run, modulo the report's "daemon" block.
+ *                       Incompatible with --isolate-workers and
+ *                       --journal: the daemon owns isolation and
+ *                       durability on its side of the socket.
  *
  * (A hidden --worker flag turns the process into a point server for
  * --isolate-workers; it is appended by the supervisor, never typed.)
@@ -106,6 +115,10 @@ struct HarnessOptions
 
     bool isolateWorkers = false;
     double workerTimeoutMs = 120000.0;
+
+    /** --connect SOCK: run the sweep on a procoupd daemon ("" =
+     *  local execution). */
+    std::string connectSocket;
 
     /** Hidden --worker: serve points for a supervisor and exit. */
     bool workerMode = false;

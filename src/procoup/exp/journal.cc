@@ -71,7 +71,9 @@ ResultsJournal::open(const std::string& dir, const ExperimentPlan& plan)
     const std::size_t before = _records.size();
     loadFrom(_journalPath);
     _loadedFromFinalized = _records.size() > before;
+    const std::size_t afterJournal = _records.size();
     loadFrom(_walPath);
+    _loadedFromWal = _records.size() > afterJournal;
 
     _wal = std::fopen(_walPath.c_str(), "ab");
     if (!_wal) {
@@ -125,9 +127,22 @@ ResultsJournal::finalize()
     _wal = nullptr;
 
     if (!_appended) {
-        // Fully replayed from a finalized journal: nothing new to
-        // publish; just drop the empty WAL opened for appending.
-        std::remove(_walPath.c_str());
+        if (_loadedFromWal) {
+            // Every record came back without executing anything, but
+            // some live only in the WAL — e.g. a graceful SIGTERM
+            // drain journaled the whole plan and exited before
+            // finalizing. Publish the union before dropping the WAL:
+            // removing it here would delete the only copy.
+            std::string merged;
+            for (const auto& [fp, rec] : _records)
+                merged += frame(encodeOutcomeRecord(rec));
+            if (atomicWriteFile(_journalPath, merged))
+                std::remove(_walPath.c_str());
+        } else {
+            // Fully replayed from a finalized journal: nothing new to
+            // publish; just drop the empty WAL opened for appending.
+            std::remove(_walPath.c_str());
+        }
         return;
     }
     if (_loadedFromFinalized) {
@@ -143,6 +158,17 @@ ResultsJournal::finalize()
     } else {
         std::rename(_walPath.c_str(), _journalPath.c_str());
     }
+}
+
+void
+ResultsJournal::close()
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    if (!_wal)
+        return;
+    std::fflush(_wal);
+    std::fclose(_wal);
+    _wal = nullptr;
 }
 
 } // namespace exp

@@ -85,6 +85,11 @@ class ResultsJournal
      */
     void finalize();
 
+    /** Flush and close the WAL without finalizing: the clean,
+     *  resumable shutdown path (SIGTERM/SIGINT drain exits via
+     *  std::exit, which skips destructors). Idempotent. */
+    void close();
+
     /** Paths (exposed for tests and tooling). */
     const std::string& walPath() const { return _walPath; }
     const std::string& journalPath() const { return _journalPath; }
@@ -97,6 +102,7 @@ class ResultsJournal
     std::string _journalPath;
     std::FILE* _wal = nullptr;
     bool _loadedFromFinalized = false;
+    bool _loadedFromWal = false;
     bool _appended = false;
     std::mutex _mu;
 };

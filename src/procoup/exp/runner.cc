@@ -1,9 +1,12 @@
 #include "procoup/exp/runner.hh"
 
+#include <signal.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <thread>
 
@@ -26,7 +29,51 @@ msSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+std::atomic<int> g_stopSignal{0};
+
+void
+stopSignalHandler(int sig)
+{
+    g_stopSignal.store(sig);
+}
+
+/** While alive, SIGINT/SIGTERM request a graceful drain (flag checked
+ *  by every point-claiming loop) instead of killing the process with
+ *  a torn WAL tail. Armed only for journaled sweeps — unjournaled
+ *  runs keep their default signal disposition. */
+struct ScopedStopSignals
+{
+    explicit ScopedStopSignals(bool arm) : armed(arm)
+    {
+        if (!armed)
+            return;
+        g_stopSignal.store(0);
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sa_handler = stopSignalHandler;
+        ::sigaction(SIGINT, &sa, &oldInt);
+        ::sigaction(SIGTERM, &sa, &oldTerm);
+    }
+
+    ~ScopedStopSignals()
+    {
+        if (!armed)
+            return;
+        ::sigaction(SIGINT, &oldInt, nullptr);
+        ::sigaction(SIGTERM, &oldTerm, nullptr);
+    }
+
+    bool armed;
+    struct sigaction oldInt, oldTerm;
+};
+
 } // namespace
+
+bool
+sweepStopRequested()
+{
+    return g_stopSignal.load() != 0;
+}
 
 const RunOutcome&
 SweepResult::at(const std::string& label) const
@@ -227,6 +274,11 @@ SweepRunner::run(const ExperimentPlan& plan)
         pending.push_back(i);
     }
 
+    // SIGINT/SIGTERM on a journaled sweep mean "drain and keep the
+    // WAL resumable", not "die mid-append".
+    ScopedStopSignals stop_guard(journal_on);
+    std::atomic<std::size_t> journaled{journal.loadedCount()};
+
     // Called for every freshly executed point, on whichever thread
     // finished it (append is thread-safe). Verify failures are *not*
     // journaled: they must re-execute (and re-fail) on resume.
@@ -237,6 +289,7 @@ SweepRunner::run(const ExperimentPlan& plan)
         if (!o.error.empty() && !o.failed)
             return;
         journal.append(makeOutcomeRecord(o, fps[i]));
+        ++journaled;
     };
 
     auto work = [&](std::size_t i) {
@@ -273,8 +326,11 @@ SweepRunner::run(const ExperimentPlan& plan)
                 },
                 failures)) {
             ran_isolated = true;
-            for (std::size_t i : local)
+            for (std::size_t i : local) {
+                if (sweepStopRequested())
+                    break;
                 work(i);
+            }
         } else {
             std::fprintf(stderr,
                          "warning: --isolate-workers could not spawn "
@@ -285,8 +341,11 @@ SweepRunner::run(const ExperimentPlan& plan)
     if (!ran_isolated) {
         if (res.jobs <= 1 || pending.size() <= 1) {
             // Inline: exactly the legacy serial loop, same thread.
-            for (std::size_t i : pending)
+            for (std::size_t i : pending) {
+                if (sweepStopRequested())
+                    break;
                 work(i);
+            }
         } else {
             std::atomic<std::size_t> next{0};
             const int workers =
@@ -296,12 +355,30 @@ SweepRunner::run(const ExperimentPlan& plan)
             for (int w = 0; w < workers; ++w)
                 pool.emplace_back([&] {
                     for (std::size_t n = next.fetch_add(1);
-                         n < pending.size(); n = next.fetch_add(1))
+                         n < pending.size(); n = next.fetch_add(1)) {
+                        if (sweepStopRequested())
+                            break;
                         work(pending[n]);
+                    }
                 });
             for (auto& t : pool)
                 t.join();
         }
+    }
+
+    // ---- Interrupted drain: every in-flight point has finished and
+    // been journaled; flush-and-close the WAL so it resumes cleanly,
+    // then exit with the conventional fatal-signal code. std::exit
+    // skips destructors, hence the explicit close.
+    if (const int sig = g_stopSignal.load()) {
+        journal.close();
+        std::fprintf(stderr,
+                     "interrupted by %s: %zu of %zu points journaled "
+                     "in %s; rerun to resume\n",
+                     sig == SIGTERM ? "SIGTERM" : "SIGINT",
+                     journaled.load(), plan.size(),
+                     _options.journalDir.c_str());
+        std::exit(128 + sig);
     }
 
     // Deterministic reduction: failures surface in plan order.

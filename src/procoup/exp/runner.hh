@@ -141,6 +141,32 @@ struct RunOutcome
     double wallMs = 0.0;
 };
 
+/**
+ * Lease/heartbeat accounting of a daemon-executed sweep (exp/daemon.hh
+ * fills it server-side; the --connect client receives it in the
+ * plan-done frame and surfaces it as the sweep report's "daemon"
+ * block). active stays false for local execution so existing reports
+ * are byte-identical.
+ */
+struct DaemonStats
+{
+    bool active = false;
+    std::uint32_t jobs = 0;            ///< daemon worker-pool size
+    std::uint64_t leasesIssued = 0;    ///< point assignments handed out
+    std::uint64_t leasesExpired = 0;   ///< deadlines missed (no heartbeat)
+    std::uint64_t leasesReassigned = 0;///< retries after a lost lease
+    std::uint64_t heartbeats = 0;      ///< worker heartbeats received
+    std::uint64_t workerLost = 0;      ///< points that became worker-lost
+    std::uint64_t resultsStreamed = 0; ///< point-result frames sent
+    std::uint64_t acksReceived = 0;    ///< stream-ack frames received
+    std::uint64_t replayed = 0;        ///< points served from the journal
+    std::uint64_t executed = 0;        ///< points freshly executed
+    std::uint64_t reconnects = 0;      ///< client-side reconnect count
+    std::uint64_t cacheHits = 0;       ///< daemon-side compile cache
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t compiles = 0;        ///< actual daemon-side compiles
+};
+
 /** All outcomes of one plan execution, in plan order. */
 struct SweepResult
 {
@@ -148,6 +174,9 @@ struct SweepResult
     CompileCache::Stats cacheStats;
     double wallMs = 0.0;  ///< whole-sweep wall-clock
     int jobs = 1;         ///< resolved worker count
+
+    /** Daemon-mode accounting (active only under --connect). */
+    DaemonStats daemon;
 
     /** Points restored from the journal instead of executed. */
     std::size_t replayedPoints = 0;
@@ -167,6 +196,15 @@ struct SweepResult
  */
 RunOutcome executeSweepPoint(const SweepPoint& point, CompileCache& cache,
                              const RunnerOptions& options);
+
+/**
+ * True while a journaled sweep is draining after SIGINT/SIGTERM: the
+ * in-process pool and the worker supervisor stop claiming new points,
+ * in-flight points finish and are journaled, and SweepRunner::run
+ * closes the write-ahead log cleanly before exiting 128+signal. Always
+ * false for unjournaled sweeps (their signal disposition is untouched).
+ */
+bool sweepStopRequested();
 
 /** Persistable snapshot of @p outcome (journal & worker protocol). */
 OutcomeRecord makeOutcomeRecord(const RunOutcome& outcome,

@@ -1,0 +1,176 @@
+#ifndef PROCOUP_EXP_SERVICE_HH
+#define PROCOUP_EXP_SERVICE_HH
+
+/**
+ * @file
+ * Wire protocol of the sweep daemon (exp/daemon.hh, tools/procoupd).
+ *
+ * The daemon speaks the PCFR framed-record format of exp/serialize.hh
+ * over a Unix-domain stream socket. Every daemon-protocol frame's
+ * payload starts with a one-byte FrameKind tag followed by the kind's
+ * body; the untagged frames of the journal, the compile cache, and
+ * the classic --isolate-workers pipe protocol are unchanged.
+ *
+ *     client -> daemon:  plan-submit, stream-ack, shutdown
+ *     daemon -> client:  point-lease, point-result, heartbeat,
+ *                        plan-done, service-error
+ *     worker -> daemon:  heartbeat, point-result (over the fd 4 pipe,
+ *                        enabled by PROCOUP_WORKER_HEARTBEAT_MS)
+ *
+ * A plan-submit body carries the complete serialized ExperimentPlan
+ * (machine configurations, sources, fault plans, budgets) plus the
+ * execution knobs a local SweepRunner would read from its flags, so
+ * the daemon executes the *identical* plan a local run would and the
+ * streamed results are byte-identical. Points carrying a trace sink
+ * cannot be serialized and are rejected at encode time.
+ *
+ * Delivery is at-least-once: after a reconnect the daemon re-streams
+ * every completed point (journal replay), and the client deduplicates
+ * by point fingerprint, so interrupted sessions converge to the same
+ * bytes as an uninterrupted one.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "procoup/exp/plan.hh"
+#include "procoup/exp/runner.hh"
+
+namespace procoup {
+namespace exp {
+
+/** First payload byte of every daemon-protocol frame. */
+enum class FrameKind : std::uint8_t
+{
+    PlanSubmit = 1,    ///< client submits a serialized plan
+    PointLease = 2,    ///< daemon assigned a point (fingerprint+deadline)
+    PointResult = 3,   ///< one OutcomeRecord, streamed incrementally
+    Heartbeat = 4,     ///< worker/daemon liveness (renews leases)
+    StreamAck = 5,     ///< client progress acknowledgement
+    Shutdown = 6,      ///< client asks the daemon to exit
+    PlanDone = 7,      ///< daemon finished a plan (DaemonStats body)
+    ServiceError = 8,  ///< daemon rejected the submission
+};
+
+/** Stable schema/display name, e.g. "plan-submit". */
+std::string frameKindName(FrameKind k);
+
+/** True iff @p tag is a known FrameKind value. */
+bool frameKindValid(std::uint8_t tag);
+
+/** Wrap @p body in a checksummed frame tagged with @p kind. */
+std::string kindFrame(FrameKind kind, const std::string& body);
+
+/** Split a kind-tagged frame payload into tag + body; false on an
+ *  empty or unknown-kind payload. */
+bool splitKindPayload(const std::string& payload, FrameKind* kind,
+                      std::string* body);
+
+// ---- Plan serialization ------------------------------------------------
+
+/** Execution knobs shipped with a plan: everything a local
+ *  SweepRunner reads from RunnerOptions that changes *results* (not
+ *  scheduling), so daemon execution is byte-identical to local. */
+struct PlanEnvelope
+{
+    ExperimentPlan plan{""};
+    bool cacheEnabled = true;
+    bool failSafe = false;
+    bool retryFaulted = false;
+    int retries = 2;  ///< retryPolicy.maxAttempts - 1
+};
+
+/** Encode @p plan + knobs from @p options as a plan-submit body.
+ *  @throws CompileError if any point carries a trace sink. */
+std::string encodePlanSubmit(const ExperimentPlan& plan,
+                             const RunnerOptions& options);
+
+/** Decode a plan-submit body; false on malformed bytes or a plan
+ *  that violates its own invariants (e.g. duplicate labels). */
+bool decodePlanSubmit(const std::string& body, PlanEnvelope* env);
+
+// Component encoders shared by the plan codec and tests.
+void writeMachineConfig(ByteWriter& w, const config::MachineConfig& m);
+bool readMachineConfig(ByteReader& r, config::MachineConfig* m);
+void writeFaultPlan(ByteWriter& w, const fault::FaultPlan& f);
+bool readFaultPlan(ByteReader& r, fault::FaultPlan* f);
+void writeSimOptions(ByteWriter& w, const sim::SimOptions& o);
+bool readSimOptions(ByteReader& r, sim::SimOptions* o);
+void writeSweepPoint(ByteWriter& w, const SweepPoint& p);
+bool readSweepPoint(ByteReader& r, SweepPoint* p);
+
+// ---- Frame bodies ------------------------------------------------------
+
+/** point-lease body: which point was assigned to whom, for how long. */
+struct LeaseInfo
+{
+    std::uint64_t planIndex = 0;
+    std::string fingerprint;
+    std::uint64_t leaseId = 0;
+    double leaseMs = 0.0;
+};
+
+std::string encodeLeaseInfo(const LeaseInfo& l);
+bool decodeLeaseInfo(const std::string& body, LeaseInfo* l);
+
+/** point-result body: plan index + the embedded OutcomeRecord. */
+std::string encodePointResult(std::uint64_t planIndex,
+                              const std::string& recordPayload);
+bool decodePointResult(const std::string& body, std::uint64_t* planIndex,
+                       std::string* recordPayload);
+
+std::string encodeDaemonStats(const DaemonStats& s);
+bool decodeDaemonStats(const std::string& body, DaemonStats* s);
+
+// ---- Socket plumbing ---------------------------------------------------
+
+/** Bind + listen on a Unix-domain socket at @p path (unlinking any
+ *  stale file first); -1 on error. */
+int listenUnixSocket(const std::string& path, int backlog);
+
+/** Connect to @p path; -1 on error (e.g. no daemon yet). */
+int connectUnixSocket(const std::string& path);
+
+// ---- Client ------------------------------------------------------------
+
+struct ClientOptions
+{
+    std::string socketPath;
+
+    /** Total budget for connecting, reconnecting after daemon
+     *  restarts, and waiting behind other clients' plans. */
+    double totalTimeoutMs = 600000.0;
+
+    /** Longest tolerated gap between daemon frames before the client
+     *  declares the connection dead and reconnects (the daemon
+     *  heartbeats about once a second while executing). */
+    double frameTimeoutMs = 30000.0;
+
+    /** Mirror SweepRunner's contract: print FATAL and exit(1) on a
+     *  verification failure. */
+    bool exitOnVerifyFailure = true;
+};
+
+/**
+ * Execute @p plan on the daemon at @p copts.socketPath and return the
+ * outcomes exactly as a local SweepRunner::run would: plan order,
+ * byte-identical stats, worker exceptions rethrown in plan order,
+ * verification failures fatal. @p ropts supplies the execution knobs
+ * shipped in the envelope. Reconnects (with the submission replayed
+ * and results deduplicated by fingerprint) until the plan completes
+ * or the budget runs out; @throws SimError/CompileError re-raised
+ * from the daemon, or std::runtime_error when the daemon stays
+ * unreachable.
+ */
+SweepResult runPlanOverSocket(const ExperimentPlan& plan,
+                              const RunnerOptions& ropts,
+                              const ClientOptions& copts);
+
+/** Send a shutdown frame to the daemon at @p socketPath; true if the
+ *  daemon acknowledged by closing the connection. */
+bool requestDaemonShutdown(const std::string& socketPath);
+
+} // namespace exp
+} // namespace procoup
+
+#endif // PROCOUP_EXP_SERVICE_HH

@@ -6,26 +6,26 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "procoup/exp/journal.hh"
+#include "procoup/exp/service.hh"
 #include "procoup/support/error.hh"
 #include "procoup/support/strings.hh"
 
 namespace procoup {
 namespace exp {
 
-namespace {
-
-/** Write all of @p bytes to @p fd; false on any error (e.g. EPIPE
- *  because the peer died — SIGPIPE is ignored, see below). */
 bool
-writeAll(int fd, const void* data, std::size_t len)
+writeAllFd(int fd, const void* data, std::size_t len)
 {
     const char* p = static_cast<const char*>(data);
     while (len > 0) {
@@ -41,14 +41,6 @@ writeAll(int fd, const void* data, std::size_t len)
     return true;
 }
 
-enum class FrameRead
-{
-    Ok,
-    Timeout,
-    Closed  ///< EOF, read error, or a corrupt frame — a dead worker
-};
-
-/** Read exactly one protocol frame from @p fd within @p timeoutMs. */
 FrameRead
 readFrameFromFd(int fd, double timeout_ms, std::string* payload)
 {
@@ -96,18 +88,26 @@ readFrameFromFd(int fd, double timeout_ms, std::string* payload)
         if (pr == 0)
             return FrameRead::Timeout;
 
+        // Never read past the current frame: streamed protocols (the
+        // sweep daemon) pipeline frames back-to-back on one fd, and
+        // bytes of the next frame must stay in the kernel buffer for
+        // the next call.
         char chunk[65536];
-        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        const std::size_t cap =
+            std::min(sizeof chunk, want - buf.size());
+        const ssize_t n = ::read(fd, chunk, cap);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
             return FrameRead::Closed;
         }
         if (n == 0)
-            return FrameRead::Closed;  // EOF: the worker died
+            return FrameRead::Closed;  // EOF: the peer died
         buf.append(chunk, static_cast<std::size_t>(n));
     }
 }
+
+namespace {
 
 std::string
 describeExit(int status)
@@ -138,77 +138,61 @@ installFd(int fd, int target)
 
 } // namespace
 
-struct WorkerSupervisor::Child
+void
+WorkerProcess::closeFds()
 {
-    pid_t pid = -1;
-    int cmdFd = -1;  ///< supervisor's write end
-    int resFd = -1;  ///< supervisor's read end
+    if (cmdFd >= 0)
+        ::close(cmdFd);
+    if (resFd >= 0)
+        ::close(resFd);
+    cmdFd = resFd = -1;
+}
 
-    bool alive() const { return pid > 0; }
-
-    void closeFds()
-    {
-        if (cmdFd >= 0)
-            ::close(cmdFd);
-        if (resFd >= 0)
-            ::close(resFd);
-        cmdFd = resFd = -1;
-    }
-
-    /** SIGKILL (harmless if already dead) and reap. */
-    void destroy()
-    {
-        if (!alive()) {
-            closeFds();
-            return;
-        }
-        ::kill(pid, SIGKILL);
-        int status = 0;
-        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-        }
-        pid = -1;
-        closeFds();
-    }
-
-    /** Reap a child that closed its pipe; returns the exit status
-     *  description. Escalates to SIGKILL if it lingers. */
-    std::string reap()
-    {
-        if (!alive()) {
-            closeFds();
-            return "already dead";
-        }
-        int status = 0;
-        for (int spin = 0; spin < 100; ++spin) {
-            const pid_t r = ::waitpid(pid, &status, WNOHANG);
-            if (r == pid) {
-                pid = -1;
-                closeFds();
-                return describeExit(status);
-            }
-            if (r < 0 && errno != EINTR)
-                break;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(10));
-        }
-        ::kill(pid, SIGKILL);
-        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-        }
-        pid = -1;
-        closeFds();
-        return "hung after closing its pipe";
-    }
-};
-
-WorkerSupervisor::WorkerSupervisor(const ExperimentPlan& plan,
-                                   const RunnerOptions& options,
-                                   CompileCache& cache)
-    : _plan(plan), _options(options), _cache(cache)
+void
+WorkerProcess::destroy()
 {
+    if (!alive()) {
+        closeFds();
+        return;
+    }
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid = -1;
+    closeFds();
+}
+
+std::string
+WorkerProcess::reap()
+{
+    if (!alive()) {
+        closeFds();
+        return "already dead";
+    }
+    int status = 0;
+    for (int spin = 0; spin < 100; ++spin) {
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid) {
+            pid = -1;
+            closeFds();
+            return describeExit(status);
+        }
+        if (r < 0 && errno != EINTR)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::kill(pid, SIGKILL);
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid = -1;
+    closeFds();
+    return "hung after closing its pipe";
 }
 
 bool
-WorkerSupervisor::spawn(Child& child) const
+spawnWorkerProcess(const std::vector<std::string>& spawn_argv,
+                   WorkerProcess* child)
 {
     int cmd[2] = {-1, -1};
     int res[2] = {-1, -1};
@@ -220,7 +204,7 @@ WorkerSupervisor::spawn(Child& child) const
         return false;
     }
 
-    std::vector<std::string> argv = _options.workerSpawnArgv;
+    std::vector<std::string> argv = spawn_argv;
     argv.push_back("--worker");
     std::vector<char*> cargv;
     cargv.reserve(argv.size() + 1);
@@ -261,14 +245,21 @@ WorkerSupervisor::spawn(Child& child) const
     ::close(res[1]);
     ::fcntl(cmd[1], F_SETFD, FD_CLOEXEC);
     ::fcntl(res[0], F_SETFD, FD_CLOEXEC);
-    child.pid = pid;
-    child.cmdFd = cmd[1];
-    child.resFd = res[0];
+    child->pid = pid;
+    child->cmdFd = cmd[1];
+    child->resFd = res[0];
     return true;
 }
 
+WorkerSupervisor::WorkerSupervisor(const ExperimentPlan& plan,
+                                   const RunnerOptions& options,
+                                   CompileCache& cache)
+    : _plan(plan), _options(options), _cache(cache)
+{
+}
+
 RunOutcome
-WorkerSupervisor::supervisePoint(Child& child, std::size_t index,
+WorkerSupervisor::supervisePoint(WorkerProcess& child, std::size_t index,
                                  std::exception_ptr* rethrow) const
 {
     const SweepPoint& point = _plan.points()[index];
@@ -284,7 +275,8 @@ WorkerSupervisor::supervisePoint(Child& child, std::size_t index,
                 std::chrono::duration<double, std::milli>(
                     _options.retryPolicy.delayMs(jitter_seed,
                                                  attempt)));
-        if (!child.alive() && !spawn(child)) {
+        if (!child.alive() &&
+            !spawnWorkerProcess(_options.workerSpawnArgv, &child)) {
             // Cannot respawn at all (fork/pipe exhaustion): degrade
             // gracefully to in-process execution of this point.
             try {
@@ -299,7 +291,7 @@ WorkerSupervisor::supervisePoint(Child& child, std::size_t index,
         }
 
         const std::string cmd = strCat("R ", index, "\n");
-        if (!writeAll(child.cmdFd, cmd.data(), cmd.size())) {
+        if (!writeAllFd(child.cmdFd, cmd.data(), cmd.size())) {
             last_kind = SimErrorKind::WorkerCrash;
             last_desc = child.reap();
             continue;
@@ -378,8 +370,8 @@ WorkerSupervisor::run(
     // Probe spawn: if not even one child comes up (binary missing,
     // fork refused), report failure so the runner falls back wholesale
     // to in-process execution.
-    Child probe;
-    if (!spawn(probe))
+    WorkerProcess probe;
+    if (!spawnWorkerProcess(_options.workerSpawnArgv, &probe))
         return false;
 
     if (workers < 1)
@@ -388,9 +380,11 @@ WorkerSupervisor::run(
         std::min<std::size_t>(workers, indices.size()));
 
     std::atomic<std::size_t> next{0};
-    auto drive = [&](Child child) {
+    auto drive = [&](WorkerProcess child) {
         for (std::size_t n = next.fetch_add(1); n < indices.size();
              n = next.fetch_add(1)) {
+            if (sweepStopRequested())
+                break;  // graceful SIGTERM/SIGINT drain
             const std::size_t index = indices[n];
             std::exception_ptr rethrow;
             RunOutcome out = supervisePoint(child, index, &rethrow);
@@ -400,7 +394,7 @@ WorkerSupervisor::run(
                 done(index, std::move(out));
         }
         if (child.alive()) {
-            writeAll(child.cmdFd, "Q\n", 2);
+            writeAllFd(child.cmdFd, "Q\n", 2);
             child.destroy();  // reaps; Q makes exit prompt
         }
     };
@@ -413,11 +407,67 @@ WorkerSupervisor::run(
     pool.reserve(workers);
     pool.emplace_back([&, probe] { drive(probe); });
     for (int w = 1; w < workers; ++w)
-        pool.emplace_back([&] { drive(Child{}); });  // lazily spawned
+        pool.emplace_back([&] { drive(WorkerProcess{}); });  // lazy
     for (auto& t : pool)
         t.join();
     return true;
 }
+
+namespace {
+
+/** Emits kind-tagged heartbeat frames on fd 4 while a point executes
+ *  (daemon mode only; see kWorkerHeartbeatEnv). Frame writes share
+ *  @p mu with the result writer so frames never interleave. */
+class HeartbeatPump
+{
+  public:
+    HeartbeatPump(double cadence_ms, std::mutex& mu)
+        : _cadenceMs(cadence_ms), _mu(mu)
+    {
+        _thread = std::thread([this] { pump(); });
+    }
+
+    ~HeartbeatPump()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_stateMu);
+            _stop = true;
+        }
+        _cv.notify_all();
+        _thread.join();
+    }
+
+  private:
+    void pump()
+    {
+        std::unique_lock<std::mutex> lock(_stateMu);
+        std::uint64_t seq = 0;
+        while (!_cv.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(_cadenceMs),
+            [this] { return _stop; })) {
+            lock.unlock();
+            ByteWriter w;
+            w.u64(++seq);
+            const std::string f =
+                kindFrame(FrameKind::Heartbeat, w.take());
+            {
+                std::lock_guard<std::mutex> io(_mu);
+                writeAllFd(kWorkerResFd, f.data(), f.size());
+            }
+            lock.lock();
+        }
+    }
+
+    const double _cadenceMs;
+    std::mutex& _mu;
+    std::mutex _stateMu;
+    std::condition_variable _cv;
+    bool _stop = false;
+    std::thread _thread;
+};
+
+} // namespace
 
 void
 runWorkerLoop(const ExperimentPlan& plan, const RunnerOptions& options)
@@ -434,11 +484,26 @@ runWorkerLoop(const ExperimentPlan& plan, const RunnerOptions& options)
     wopts.isolateWorkers = false;
 
     // Test hooks (chaos coverage): make the worker crash or hang on a
-    // chosen point label, from outside, without touching the sweep.
+    // chosen point label, from outside, without touching the sweep;
+    // log every worker spawn so tests can assert replays spawn none.
     const char* crash_label =
         std::getenv("PROCOUP_TEST_WORKER_CRASH_LABEL");
     const char* hang_label =
         std::getenv("PROCOUP_TEST_WORKER_HANG_LABEL");
+    if (const char* spawn_log =
+            std::getenv("PROCOUP_TEST_WORKER_SPAWN_LOG")) {
+        if (std::FILE* f = std::fopen(spawn_log, "a")) {
+            std::fprintf(f, "%d\n", static_cast<int>(::getpid()));
+            std::fclose(f);
+        }
+    }
+
+    // Daemon mode: heartbeat cadence set by the spawning daemon; all
+    // fd 4 frames become kind-tagged (see kWorkerHeartbeatEnv).
+    double heartbeat_ms = 0.0;
+    if (const char* hb = std::getenv(kWorkerHeartbeatEnv))
+        heartbeat_ms = std::strtod(hb, nullptr);
+    std::mutex res_mu;
 
     std::FILE* in = ::fdopen(kWorkerCmdFd, "r");
     if (!in)
@@ -466,25 +531,36 @@ runWorkerLoop(const ExperimentPlan& plan, const RunnerOptions& options)
         OutcomeRecord rec;
         rec.label = point.label;
         rec.pointFingerprint = pointFingerprint(point);
-        try {
-            const RunOutcome out =
-                executeSweepPoint(point, cache, wopts);
-            rec = makeOutcomeRecord(out, rec.pointFingerprint);
-        } catch (const SimError& e) {
-            rec.threw = 1;
-            rec.errorKind = static_cast<std::uint8_t>(e.kind());
-            rec.errorCycle = e.cycle();
-            rec.error = e.what();
-        } catch (const CompileError& e) {
-            rec.threw = 2;
-            rec.error = e.what();
-        } catch (const std::exception& e) {
-            rec.threw = 3;
-            rec.error = e.what();
+        {
+            std::unique_ptr<HeartbeatPump> pump;
+            if (heartbeat_ms > 0.0)
+                pump = std::make_unique<HeartbeatPump>(heartbeat_ms,
+                                                       res_mu);
+            try {
+                const RunOutcome out =
+                    executeSweepPoint(point, cache, wopts);
+                rec = makeOutcomeRecord(out, rec.pointFingerprint);
+            } catch (const SimError& e) {
+                rec.threw = 1;
+                rec.errorKind = static_cast<std::uint8_t>(e.kind());
+                rec.errorCycle = e.cycle();
+                rec.error = e.what();
+            } catch (const CompileError& e) {
+                rec.threw = 2;
+                rec.error = e.what();
+            } catch (const std::exception& e) {
+                rec.threw = 3;
+                rec.error = e.what();
+            }
         }
 
-        const std::string framed = frame(encodeOutcomeRecord(rec));
-        if (!writeAll(kWorkerResFd, framed.data(), framed.size()))
+        const std::string framed =
+            heartbeat_ms > 0.0
+                ? kindFrame(FrameKind::PointResult,
+                            encodeOutcomeRecord(rec))
+                : frame(encodeOutcomeRecord(rec));
+        std::lock_guard<std::mutex> io(res_mu);
+        if (!writeAllFd(kWorkerResFd, framed.data(), framed.size()))
             _exit(125);  // supervisor is gone
     }
     _exit(0);

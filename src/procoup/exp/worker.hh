@@ -50,6 +50,58 @@ namespace exp {
 constexpr int kWorkerCmdFd = 3;
 constexpr int kWorkerResFd = 4;
 
+/** Heartbeat cadence environment hook: when the spawning parent sets
+ *  PROCOUP_WORKER_HEARTBEAT_MS, a worker child tags every fd 4 frame
+ *  with a FrameKind (exp/service.hh) and emits heartbeat frames at
+ *  that cadence while a point executes — the sweep daemon's lease
+ *  renewal signal. Unset (the classic --isolate-workers supervisor),
+ *  frames stay untagged and no heartbeats are sent. */
+constexpr const char* kWorkerHeartbeatEnv =
+    "PROCOUP_WORKER_HEARTBEAT_MS";
+
+/** Write all of @p len bytes to @p fd; false on any error (EPIPE on a
+ *  dead peer included — callers ignore SIGPIPE). */
+bool writeAllFd(int fd, const void* data, std::size_t len);
+
+enum class FrameRead
+{
+    Ok,
+    Timeout,
+    Closed  ///< EOF, read error, or a corrupt frame — a dead peer
+};
+
+/** Read exactly one PCFR frame from @p fd within @p timeoutMs. */
+FrameRead readFrameFromFd(int fd, double timeoutMs,
+                          std::string* payload);
+
+/**
+ * One spawned worker child and its protocol pipe ends (the parent's
+ * side). Used by both the classic WorkerSupervisor and the sweep
+ * daemon's lease supervisor (exp/daemon.hh).
+ */
+struct WorkerProcess
+{
+    pid_t pid = -1;
+    int cmdFd = -1;  ///< parent's write end (commands)
+    int resFd = -1;  ///< parent's read end (framed records)
+
+    bool alive() const { return pid > 0; }
+    void closeFds();
+
+    /** SIGKILL (harmless if already dead) and reap. */
+    void destroy();
+
+    /** Reap a child that closed its pipe; returns the exit status
+     *  description. Escalates to SIGKILL if it lingers. */
+    std::string reap();
+};
+
+/** fork + exec @p argv plus the hidden "--worker" flag, with the
+ *  protocol pipes installed on fds 3/4; false if the child cannot be
+ *  spawned (fork or pipe exhaustion). */
+bool spawnWorkerProcess(const std::vector<std::string>& argv,
+                        WorkerProcess* child);
+
 /**
  * Child side: serve points of @p plan until the supervisor closes the
  * command pipe or sends "Q". Never returns. @p options carries the
@@ -79,10 +131,7 @@ class WorkerSupervisor
              std::vector<std::exception_ptr>& failures);
 
   private:
-    struct Child;
-
-    bool spawn(Child& child) const;
-    RunOutcome supervisePoint(Child& child, std::size_t index,
+    RunOutcome supervisePoint(WorkerProcess& child, std::size_t index,
                               std::exception_ptr* rethrow) const;
 
     const ExperimentPlan& _plan;

@@ -16,6 +16,7 @@ simErrorKindName(SimErrorKind k)
       case SimErrorKind::InvariantViolation: return "invariant-violation";
       case SimErrorKind::WorkerCrash:        return "worker-crash";
       case SimErrorKind::WorkerTimeout:      return "worker-timeout";
+      case SimErrorKind::WorkerLost:         return "worker-lost";
     }
     return "runtime";
 }

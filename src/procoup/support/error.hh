@@ -46,6 +46,9 @@ enum class SimErrorKind
                         ///< OOM kill, nonzero exit) executing the point
     WorkerTimeout,      ///< an isolated worker exceeded the supervisor's
                         ///< per-point wall-clock timeout and was killed
+    WorkerLost,         ///< a sweep-daemon lease on the point expired
+                        ///< (missed heartbeats / dead worker) and the
+                        ///< bounded reassignment budget ran out
 };
 
 /** Stable display/schema name, e.g. "wall-clock-deadline". */

@@ -317,5 +317,49 @@ TEST(RetryPolicy, DeterministicBoundedBackoff)
     EXPECT_EQ(exp::RetryPolicy{.maxAttempts = 1}.maxRetries(), 0);
 }
 
+TEST(Journal, FinalizePromotesDrainedWalWithoutAppends)
+{
+    const std::string dir = tempDir();
+    const exp::ExperimentPlan plan = smallPlan();
+
+    // First session: journal every point, then close() without
+    // finalizing — the state a graceful SIGTERM drain exits in. The
+    // complete record set now lives only in the WAL.
+    {
+        exp::ResultsJournal j;
+        ASSERT_TRUE(j.open(dir, plan));
+        for (const auto& p : plan.points()) {
+            exp::OutcomeRecord rec;
+            rec.label = p.label;
+            rec.pointFingerprint = exp::pointFingerprint(p);
+            j.append(rec);
+        }
+        j.close();
+        std::ifstream wal(j.walPath());
+        EXPECT_TRUE(wal.good());
+    }
+
+    // Second session: full replay, zero appends, finalize. The
+    // records must survive as the finalized journal — not be deleted
+    // along with the "empty" WAL.
+    {
+        exp::ResultsJournal j;
+        ASSERT_TRUE(j.open(dir, plan));
+        EXPECT_EQ(j.loadedCount(), plan.size());
+        j.finalize();
+        std::ifstream journal(j.journalPath());
+        EXPECT_TRUE(journal.good());
+        std::ifstream wal(j.walPath());
+        EXPECT_FALSE(wal.good());
+    }
+
+    // Third session still replays everything.
+    exp::ResultsJournal j;
+    ASSERT_TRUE(j.open(dir, plan));
+    EXPECT_EQ(j.loadedCount(), plan.size());
+    for (const auto& p : plan.points())
+        EXPECT_NE(j.find(exp::pointFingerprint(p)), nullptr);
+}
+
 } // namespace
 } // namespace procoup

@@ -58,6 +58,13 @@
  *   --retries N                        respawn/retry budget (default 2)
  *   --worker-timeout-ms N              per-point budget under
  *                                      --isolate-workers
+ *   --connect SOCK                     run the point on a procoupd
+ *                                      sweep daemon listening on Unix
+ *                                      socket SOCK; output is byte-
+ *                                      identical to a local run.
+ *                                      Incompatible with --trace,
+ *                                      --trace-out, --isolate-workers
+ *                                      and --journal
  *
  * The run itself goes through exp::SweepRunner as a one-point
  * ExperimentPlan sharing a compile cache with the dump path, exactly
@@ -82,6 +89,7 @@
 #include "procoup/exp/cache.hh"
 #include "procoup/exp/plan.hh"
 #include "procoup/exp/runner.hh"
+#include "procoup/exp/service.hh"
 #include "procoup/exp/worker.hh"
 #include "procoup/fault/fault.hh"
 #include "procoup/ir/frontend.hh"
@@ -164,6 +172,7 @@ struct Options
     int retries = 2;
     double worker_timeout_ms = 120000.0;
     bool worker_mode = false;
+    std::string connect_socket;
     std::vector<std::string> raw_argv;
 };
 
@@ -274,6 +283,8 @@ parseArgs(int argc, char** argv)
                 std::strtod(next().c_str(), nullptr);
             if (o.worker_timeout_ms <= 0.0)
                 usage(argv[0]);
+        } else if (a == "--connect") {
+            o.connect_socket = next();
         } else if (a == "--worker") {
             o.worker_mode = true;
         } else if (!a.empty() && a[0] == '-') {
@@ -286,6 +297,16 @@ parseArgs(int argc, char** argv)
         o.disk_cache_dir.clear();
     if (o.source_file.empty() == o.benchmark.empty())
         usage(argv[0]);  // exactly one input
+    if (!o.connect_socket.empty() &&
+        (o.do_trace || !o.trace_out.empty() || o.isolate_workers ||
+         !o.journal_dir.empty())) {
+        std::fprintf(stderr,
+                     "--connect is incompatible with --trace/"
+                     "--trace-out (the daemon cannot stream trace "
+                     "events) and with --isolate-workers/--journal "
+                     "(the daemon owns isolation and durability)\n");
+        std::exit(1);
+    }
     return o;
 }
 
@@ -377,8 +398,15 @@ try {
         point.traceStalls = o.trace_stalls;
     }
 
-    exp::SweepRunner runner(ropts);
-    const exp::SweepResult sweep = runner.run(plan);
+    exp::SweepResult sweep;
+    if (!o.connect_socket.empty()) {
+        exp::ClientOptions copts;
+        copts.socketPath = o.connect_socket;
+        sweep = exp::runPlanOverSocket(plan, ropts, copts);
+    } else {
+        exp::SweepRunner runner(ropts);
+        sweep = runner.run(plan);
+    }
     const exp::RunOutcome& outcome = sweep.outcomes.front();
 
     if (outcome.failed) {
